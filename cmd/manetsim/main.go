@@ -1,0 +1,208 @@
+// Command manetsim runs a single mobility-sensitive topology-control
+// simulation and prints its metrics.
+//
+// Examples:
+//
+//	manetsim -protocol RNG -speed 40 -duration 100
+//	manetsim -protocol MST -speed 160 -buffer 100 -pn
+//	manetsim -protocol RNG -speed 40 -buffer 10 -viewsync
+//	manetsim -protocol RNG -speed 20 -weak 3
+//	manetsim -protocol SPT-2 -speed 40 -reactive -buffer 10
+//	manetsim -protocol MST -speed 20 -proactive -buffer 30
+//	manetsim -protocol RNG -replay scenario.txt  # replay a recorded trace
+//	manetsim -record scenario.txt -speed 40      # record a mobility trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mstc/internal/geom"
+	"mstc/internal/manet"
+	"mstc/internal/mobility"
+	"mstc/internal/radio"
+	"mstc/internal/topology"
+	"mstc/internal/trace"
+	"mstc/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("manetsim: ")
+
+	var (
+		protocolName = flag.String("protocol", "RNG", "protocol: MST, RNG, GG, SPT-2, SPT-4, Yao-6, none")
+		n            = flag.Int("n", 100, "number of nodes")
+		side         = flag.Float64("arena", 900, "square arena side (m)")
+		normalRange  = flag.Float64("range", 250, "normal transmission range (m)")
+		speed        = flag.Float64("speed", 20, "average moving speed (m/s); per-leg speeds are uniform in (0, 2*speed]")
+		modelName    = flag.String("model", "waypoint", "mobility model: waypoint, walk, direction, gaussmarkov, static")
+		pause        = flag.Float64("pause", 0, "waypoint pause time (s)")
+		duration     = flag.Float64("duration", 100, "simulated seconds")
+		buffer       = flag.Float64("buffer", 0, "buffer-zone width (m)")
+		viewSync     = flag.Bool("viewsync", false, "enable view synchronization")
+		pn           = flag.Bool("pn", false, "enable the physical-neighbor mechanism")
+		weakK        = flag.Int("weak", 0, "weak-consistency selection over K recent Hello messages (0 = off)")
+		reactive     = flag.Bool("reactive", false, "reactive strong consistency (synchronized Hello rounds)")
+		proactive    = flag.Bool("proactive", false, "proactive strong consistency (version-pinned packet views)")
+		prune        = flag.Bool("prune", false, "self-pruning broadcast (skip fully covered forwards)")
+		cdsFwd       = flag.Bool("cds", false, "CDS-gateway forwarding (implies -pn)")
+		floodRate    = flag.Float64("floods", 10, "connectivity probes per second")
+		unicastRate  = flag.Float64("unicast", 0, "greedy unicast probes per second (replaces flooding when > 0)")
+		epidemicWin  = flag.Float64("epidemic", 0, "epidemic delivery window in seconds (replaces flooding when > 0)")
+		lossRate     = flag.Float64("loss", 0, "per-reception loss probability")
+		posNoise     = flag.Float64("noise", 0, "advertised-position noise std-dev (m)")
+		txDur        = flag.Float64("txdur", 0, "per-packet airtime (s); > 0 enables the collision MAC")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		snapshotDt   = flag.Float64("snapshots", 0, "strict-connectivity snapshot period (s); 0 = off")
+		churnUp      = flag.Float64("churn-up", 0, "mean node up-time (s); with -churn-down, enables failure injection")
+		churnDown    = flag.Float64("churn-down", 0, "mean node outage (s)")
+		recordPath   = flag.String("record", "", "record the mobility trace to this file and exit")
+		replayPath   = flag.String("replay", "", "replay a recorded mobility trace instead of random waypoint")
+	)
+	flag.Parse()
+
+	var model mobility.Model
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := trace.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		model = tr
+	} else {
+		m, err := buildModel(*modelName, geom.Square(*side), *n, *speed, *pause, *duration, xrand.New(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		model = m
+	}
+
+	if *recordPath != "" {
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Record(f, model, 0.1); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d-node %.0f s trace to %s\n", model.N(), model.Horizon(), *recordPath)
+		return
+	}
+
+	cfg := manet.Config{
+		NormalRange: *normalRange,
+		FloodRate:   *floodRate,
+		Radio:       radio.Config{LossRate: *lossRate, TxDuration: *txDur},
+		Seed:        *seed,
+		Mech: manet.Mechanisms{
+			Buffer:            *buffer,
+			ViewSync:          *viewSync,
+			PhysicalNeighbors: *pn,
+			WeakK:             *weakK,
+			Reactive:          *reactive,
+			Proactive:         *proactive,
+			SelfPruning:       *prune,
+			CDSForward:        *cdsFwd,
+		},
+		SnapshotEvery: *snapshotDt,
+		Churn:         manet.ChurnConfig{MeanUp: *churnUp, MeanDown: *churnDown},
+		PosNoise:      *posNoise,
+	}
+	if *weakK > 0 {
+		w, err := topology.WeakByName(*protocolName, *normalRange)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Weak = w
+	} else {
+		p, err := topology.ByName(*protocolName, *normalRange)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Protocol = p
+	}
+
+	if *cdsFwd {
+		cfg.Mech.PhysicalNeighbors = true
+	}
+	if *unicastRate > 0 || *epidemicWin > 0 {
+		cfg.FloodRate = 0
+	}
+	nw, err := manet.NewNetwork(model, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *unicastRate > 0 {
+		ures, err := nw.RunUnicast(*duration, manet.UnicastConfig{Rate: *unicastRate})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("unicast delivered   %.4f  (%d probes, %.1f avg hops)\n", ures.Delivered, ures.Probes, ures.AvgHops)
+		fmt.Printf("failures            %d local minima, %d range failures\n", ures.LocalMinima, ures.RangeFailures)
+		return
+	}
+	if *epidemicWin > 0 {
+		eres, err := nw.RunEpidemic(*duration, manet.EpidemicConfig{Window: *epidemicWin, Messages: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epidemic delivered  %.4f within %gs  (mean delay %.2fs, %d messages)\n",
+			eres.Delivered, *epidemicWin, eres.MeanDelay, eres.Messages)
+		return
+	}
+	res := nw.Run(*duration)
+
+	fmt.Printf("protocol            %s\n", res.Protocol)
+	fmt.Printf("mechanisms          buffer=%gm viewsync=%v pn=%v weakK=%d reactive=%v proactive=%v\n",
+		*buffer, *viewSync, *pn, *weakK, *reactive, *proactive)
+	fmt.Printf("connectivity ratio  %.4f  (%d floods)\n", res.Connectivity, res.Floods)
+	fmt.Printf("avg tx range        %.1f m\n", res.AvgTxRange)
+	fmt.Printf("avg logical degree  %.2f\n", res.AvgLogicalDegree)
+	fmt.Printf("avg physical degree %.2f\n", res.AvgPhysicalDegree)
+	fmt.Printf("overhead            %d hello tx, %d data tx\n", res.HelloTx, res.DataTx)
+	if res.DataTx > 0 {
+		fmt.Printf("energy              %.3f per data tx (1.0 = full power), %.0f hello units\n",
+			res.DataEnergy/float64(res.DataTx), res.HelloEnergy)
+	}
+	if res.Snapshots > 0 {
+		fmt.Printf("snapshot (strict)   %.4f  (%d snapshots)\n", res.SnapshotConnectivity, res.Snapshots)
+	}
+}
+
+// buildModel constructs the requested mobility model with speeds scaled
+// around the given average.
+func buildModel(name string, arena geom.Rect, n int, speed, pause, horizon float64, rng *xrand.Source) (mobility.Model, error) {
+	lo, hi := mobility.SpeedSetdest(speed)
+	switch name {
+	case "waypoint":
+		return mobility.NewRandomWaypoint(arena, mobility.WaypointConfig{
+			N: n, SpeedMin: lo, SpeedMax: hi, Pause: pause, Horizon: horizon,
+		}, rng)
+	case "walk":
+		return mobility.NewRandomWalk(arena, mobility.WalkConfig{
+			N: n, SpeedMin: lo, SpeedMax: hi, Epoch: 5, Horizon: horizon,
+		}, rng)
+	case "direction":
+		min, max := mobility.SpeedAround(speed) // direction model needs positive speeds
+		return mobility.NewRandomDirection(arena, mobility.DirectionConfig{
+			N: n, SpeedMin: min, SpeedMax: max, Pause: pause, Horizon: horizon,
+		}, rng)
+	case "gaussmarkov":
+		return mobility.NewGaussMarkov(arena, mobility.GaussMarkovConfig{
+			N: n, MeanSpeed: speed, SpeedSigma: speed / 4, DirSigma: 0.3, Alpha: 0.85, Horizon: horizon,
+		}, rng)
+	case "static":
+		return mobility.NewStaticUniform(arena, n, horizon, rng), nil
+	}
+	return nil, fmt.Errorf("unknown mobility model %q", name)
+}

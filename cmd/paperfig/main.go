@@ -1,0 +1,200 @@
+// Command paperfig regenerates the tables and figures of the paper's
+// evaluation section (Wu & Dai, §5): Table 1 and Figures 6–10.
+//
+// Examples:
+//
+//	paperfig -exp table1
+//	paperfig -exp fig7 -reps 20 -duration 100   # paper scale
+//	paperfig -exp all -quick                    # fast pass over everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mstc/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperfig: ")
+
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, fig9, fig10, consistency, routing, energy, all")
+		reps     = flag.Int("reps", 0, "repetitions per configuration (default: paper's 20, or 3 with -quick)")
+		duration = flag.Float64("duration", 0, "simulated seconds per run (default: paper's 100, or 20 with -quick)")
+		quick    = flag.Bool("quick", false, "scaled-down options for a fast pass")
+		seed     = flag.Uint64("seed", 2004, "root seed")
+		workers  = flag.Int("workers", 0, "parallel runs (default GOMAXPROCS)")
+		datDir   = flag.String("dat", "", "also write gnuplot-ready .dat/.txt files into this directory")
+	)
+	flag.Parse()
+
+	o := experiment.DefaultOptions()
+	if *quick {
+		o = experiment.QuickOptions()
+	}
+	if *reps > 0 {
+		o.Reps = *reps
+	}
+	if *duration > 0 {
+		o.Duration = *duration
+	}
+	o.Seed = *seed
+	o.Workers = *workers
+
+	if *datDir != "" {
+		if err := os.MkdirAll(*datDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	save := func(name, content string) {
+		if *datDir == "" {
+			return
+		}
+		path := filepath.Join(*datDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+	matched := false
+
+	if want("table1") {
+		matched = true
+		run("table1", func() error {
+			t, err := experiment.Table1(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			save("table1.txt", t.String())
+			return nil
+		})
+	}
+	if want("fig6") {
+		matched = true
+		run("fig6", func() error {
+			f, err := experiment.Fig6(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f)
+			save("fig6.dat", f.Dat())
+			return nil
+		})
+	}
+	if want("fig7") {
+		matched = true
+		run("fig7", func() error {
+			figs, err := experiment.Fig7(o)
+			if err != nil {
+				return err
+			}
+			for i, f := range figs {
+				fmt.Println(f)
+				save(fmt.Sprintf("fig7%c.dat", 'a'+i), f.Dat())
+			}
+			return nil
+		})
+	}
+	if want("fig8") {
+		matched = true
+		run("fig8", func() error {
+			fa, fb, err := experiment.Fig8(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fa)
+			fmt.Println(fb)
+			save("fig8a.dat", fa.Dat())
+			save("fig8b.dat", fb.Dat())
+			return nil
+		})
+	}
+	if want("fig9") {
+		matched = true
+		run("fig9", func() error {
+			figs, err := experiment.Fig9(o)
+			if err != nil {
+				return err
+			}
+			for i, f := range figs {
+				fmt.Println(f)
+				save(fmt.Sprintf("fig9%c.dat", 'a'+i), f.Dat())
+			}
+			return nil
+		})
+	}
+	if want("fig10") {
+		matched = true
+		run("fig10", func() error {
+			figs, err := experiment.Fig10(o)
+			if err != nil {
+				return err
+			}
+			for i, f := range figs {
+				fmt.Println(f)
+				save(fmt.Sprintf("fig10%c.dat", 'a'+i), f.Dat())
+			}
+			return nil
+		})
+	}
+	if want("consistency") {
+		matched = true
+		run("consistency", func() error {
+			for _, proto := range []string{"MST", "RNG"} {
+				f, err := experiment.FigConsistency(o, proto)
+				if err != nil {
+					return err
+				}
+				fmt.Println(f)
+				save("consistency_"+proto+".dat", f.Dat())
+			}
+			return nil
+		})
+	}
+	if want("energy") {
+		matched = true
+		run("energy", func() error {
+			t, err := experiment.TableEnergy(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			save("energy.txt", t.String())
+			return nil
+		})
+	}
+	if want("routing") {
+		matched = true
+		run("routing", func() error {
+			for _, proto := range []string{"GG", "RNG"} {
+				f, err := experiment.FigRouting(o, proto)
+				if err != nil {
+					return err
+				}
+				fmt.Println(f)
+				save("routing_"+proto+".dat", f.Dat())
+			}
+			return nil
+		})
+	}
+	if !matched {
+		log.Fatalf("unknown experiment %q (want table1, fig6..fig10, consistency, routing, or all)", *exp)
+	}
+}

@@ -1,0 +1,104 @@
+// Command topoviz renders a topology-control snapshot as SVG: the original
+// unit-disk topology underneath the logical topology a protocol selects,
+// with optional transmission-range disks.
+//
+// Examples:
+//
+//	topoviz -protocol RNG -o rng.svg
+//	topoviz -protocol MST -buffer 30 -ranges -o mst.svg
+//	topoviz -protocol GG -speed 20 -at 50 -o gg_t50.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mstc/internal/geom"
+	"mstc/internal/mobility"
+	"mstc/internal/snapshot"
+	"mstc/internal/topology"
+	"mstc/internal/viz"
+	"mstc/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topoviz: ")
+
+	var (
+		protocolName = flag.String("protocol", "RNG", "protocol: MST, RNG, GG, SPT-2, SPT-4, Yao-6, CBTC, KNeigh-9, none")
+		n            = flag.Int("n", 100, "number of nodes")
+		side         = flag.Float64("arena", 900, "square arena side (m)")
+		normalRange  = flag.Float64("range", 250, "normal transmission range (m)")
+		speed        = flag.Float64("speed", 0, "average moving speed (m/s); 0 = static placement")
+		at           = flag.Float64("at", 0, "snapshot instant (s) when -speed > 0")
+		buffer       = flag.Float64("buffer", 0, "buffer-zone width (m)")
+		showRanges   = flag.Bool("ranges", false, "draw transmission-range disks")
+		showOriginal = flag.Bool("original", true, "draw the original (unit-disk) topology underneath")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		out          = flag.String("o", "topology.svg", "output SVG path")
+	)
+	flag.Parse()
+
+	p, err := topology.ByName(*protocolName, *normalRange)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arena := geom.Square(*side)
+
+	var pts []geom.Point
+	if *speed > 0 {
+		lo, hi := mobility.SpeedSetdest(*speed)
+		horizon := *at + 1
+		m, err := mobility.NewRandomWaypoint(arena, mobility.WaypointConfig{
+			N: *n, SpeedMin: lo, SpeedMax: hi, Horizon: horizon,
+		}, xrand.New(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = make([]geom.Point, *n)
+		for i := range pts {
+			pts[i] = m.PositionAt(i, *at)
+		}
+	} else {
+		pts = mobility.UniformPoints(arena, *n, xrand.New(*seed))
+	}
+
+	sel := snapshot.Selections(pts, p, *normalRange)
+	logical := snapshot.Logical(pts, sel)
+	scene := viz.Scene{
+		Arena:  arena,
+		Points: pts,
+		Title:  fmt.Sprintf("%s logical topology (%d links)", p.Name(), logical.M()),
+	}
+	if *showOriginal {
+		scene.Layers = append(scene.Layers, viz.Layer{
+			Name:  "original (unit disk)",
+			Edges: snapshot.Original(pts, *normalRange).Edges(),
+			Color: "#dddddd",
+		})
+	}
+	scene.Layers = append(scene.Layers, viz.Layer{
+		Name:  p.Name(),
+		Edges: logical.Edges(),
+		Color: "#cc3344",
+		Width: 3,
+	})
+	if *showRanges {
+		scene.Ranges = snapshot.Ranges(pts, sel, *buffer, *normalRange)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := scene.Render(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d nodes, %d logical links)\n", *out, len(pts), logical.M())
+}

@@ -1,0 +1,109 @@
+// Consistency walkthrough: the paper's Fig. 2 counterexample, executed.
+//
+// Three nodes u, v, w. Node w moves upward between two "Hello" messages.
+// Node u decides with w's OLD position, node v with the NEW one — two
+// inconsistent views of the same link costs. Under the MST-based protocol
+// both endpoints drop their link to w: the logical topology partitions even
+// though the physical network is connected the whole time.
+//
+// The walkthrough then repairs the partition twice: with strong view
+// consistency (both observers pinned to the same "Hello" version) and with
+// weak consistency (both keep the two recent versions and apply the
+// enhanced, conservative removal conditions).
+package main
+
+import (
+	"fmt"
+
+	"mstc/internal/geom"
+	"mstc/internal/topology"
+)
+
+func main() {
+	// Geometry of Fig. 2 (distances: d(u,v) = 5; w at distance 6/4 from
+	// u/v before the move, 4/6 after).
+	u := geom.Pt(0, 0)
+	v := geom.Pt(5, 0)
+	wOld := circleIntersect(u, 6, v, 4)
+	wNew := circleIntersect(u, 4, v, 6)
+	p := topology.MST{Range: 100}
+
+	fmt.Println("== inconsistent views (the failure of Fig. 2) ==")
+	uView := topology.View{Self: topology.NodeInfo{ID: 0, Pos: u}, Neighbors: []topology.NodeInfo{
+		{ID: 1, Pos: v}, {ID: 2, Pos: wOld}, // u still holds w's old Hello
+	}}.Canon()
+	vView := topology.View{Self: topology.NodeInfo{ID: 1, Pos: v}, Neighbors: []topology.NodeInfo{
+		{ID: 0, Pos: u}, {ID: 2, Pos: wNew}, // v already has the new one
+	}}.Canon()
+	uSel := p.Select(uView)
+	vSel := p.Select(vView)
+	fmt.Printf("u selects %v  (drops w: in u's view the u-w link is the longest)\n", names(uSel))
+	fmt.Printf("v selects %v  (drops w: in v's view the v-w link is the longest)\n", names(vSel))
+	fmt.Println("-> w is isolated in the logical topology: PARTITION")
+
+	fmt.Println("\n== strong consistency (both pinned to w's old Hello) ==")
+	vViewOld := topology.View{Self: topology.NodeInfo{ID: 1, Pos: v}, Neighbors: []topology.NodeInfo{
+		{ID: 0, Pos: u}, {ID: 2, Pos: wOld},
+	}}.Canon()
+	fmt.Printf("u selects %v\n", names(p.Select(uView)))
+	fmt.Printf("v selects %v  (keeps w)\n", names(p.Select(vViewOld)))
+	wView := topology.View{Self: topology.NodeInfo{ID: 2, Pos: wOld}, Neighbors: []topology.NodeInfo{
+		{ID: 0, Pos: u}, {ID: 1, Pos: v},
+	}}.Canon()
+	fmt.Printf("w selects %v\n", names(p.Select(wView)))
+	fmt.Println("-> logical topology u-v-w is CONNECTED (Theorem 1)")
+
+	fmt.Println("\n== weak consistency (both keep k=2 recent Hellos) ==")
+	wp := topology.WeakMST{Range: 100}
+	wHist := []geom.Point{wNew, wOld} // newest first
+	uMulti := topology.MultiView{
+		Self: topology.MultiNodeInfo{ID: 0, Positions: []geom.Point{u}},
+		Neighbors: []topology.MultiNodeInfo{
+			{ID: 1, Positions: []geom.Point{v}},
+			{ID: 2, Positions: wHist},
+		},
+	}
+	vMulti := topology.MultiView{
+		Self: topology.MultiNodeInfo{ID: 1, Positions: []geom.Point{v}},
+		Neighbors: []topology.MultiNodeInfo{
+			{ID: 0, Positions: []geom.Point{u}},
+			{ID: 2, Positions: wHist},
+		},
+	}
+	fmt.Printf("u selects %v\n", names(wp.SelectWeak(uMulti)))
+	fmt.Printf("v selects %v\n", names(wp.SelectWeak(vMulti)))
+	fmt.Println("-> conservative decisions keep enough links: CONNECTED (Theorem 4)")
+}
+
+// circleIntersect returns the upper intersection of circles centered at a
+// (radius ra) and b (radius rb).
+func circleIntersect(a geom.Point, ra float64, b geom.Point, rb float64) geom.Point {
+	d := a.Dist(b)
+	x := (ra*ra - rb*rb + d*d) / (2 * d)
+	y2 := ra*ra - x*x
+	if y2 < 0 {
+		y2 = 0
+	}
+	dir := b.Sub(a).Unit()
+	perp := geom.Vec(-dir.DY, dir.DX)
+	return a.Add(dir.Scale(x)).Add(perp.Scale(sqrt(y2)))
+}
+
+func sqrt(x float64) float64 {
+	z := x
+	if z <= 0 {
+		return 0
+	}
+	for i := 0; i < 64; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func names(sel []int) []string {
+	out := make([]string, len(sel))
+	for i, id := range sel {
+		out[i] = string(rune('u' + id))
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+// Geographic routing over controlled topologies: the downstream workload
+// topology control exists for. Greedy forwarding needs only the positions
+// the "Hello" protocol already gossips; on the planar Gabriel/RNG
+// topologies, greedy-face-greedy (GFG/GPSR) recovery makes delivery
+// guaranteed. The run compares greedy success, GFG success, and path
+// stretch across the protocol family on one static network.
+package main
+
+import (
+	"fmt"
+
+	"mstc/internal/geom"
+	"mstc/internal/graph"
+	"mstc/internal/mobility"
+	"mstc/internal/route"
+	"mstc/internal/snapshot"
+	"mstc/internal/topology"
+	"mstc/internal/xrand"
+)
+
+func main() {
+	const (
+		n           = 100
+		normalRange = 250.0
+	)
+	arena := geom.Square(900)
+	rng := xrand.New(17)
+	var pts []geom.Point
+	for {
+		pts = mobility.UniformPoints(arena, n, rng)
+		if graph.UnitDisk(pts, normalRange).Connected() {
+			break
+		}
+	}
+
+	protocols := []topology.Protocol{
+		topology.MST{Range: normalRange},
+		topology.RNG{},
+		topology.Gabriel{},
+		topology.SPT{Alpha: 2, Range: normalRange},
+		topology.None{},
+	}
+
+	fmt.Println("geographic routing over controlled topologies (100 nodes, all pairs sampled)")
+	fmt.Printf("%-8s %8s %10s %10s %12s\n", "topology", "degree", "greedy ok", "GFG ok", "GFG stretch")
+	for _, p := range protocols {
+		sel := snapshot.Selections(pts, p, normalRange)
+		lg := snapshot.Logical(pts, sel)
+		adj := make([][]int, n)
+		deg := 0
+		for u := 0; u < n; u++ {
+			for _, h := range lg.Neighbors(u) {
+				adj[u] = append(adj[u], h.To)
+			}
+			deg += len(adj[u])
+		}
+		r, err := route.New(pts, adj)
+		if err != nil {
+			panic(err)
+		}
+		pairRng := xrand.New(3)
+		greedyOK, gfgOK, trials := 0, 0, 0
+		stretchSum, stretchN := 0.0, 0
+		for t := 0; t < 500; t++ {
+			src, dst := pairRng.Intn(n), pairRng.Intn(n)
+			if src == dst {
+				continue
+			}
+			trials++
+			if _, ok := r.Greedy(src, dst); ok {
+				greedyOK++
+			}
+			if path, ok := r.GFG(src, dst); ok {
+				gfgOK++
+				stretchSum += r.Stretch(path)
+				stretchN++
+			}
+		}
+		meanStretch := 0.0
+		if stretchN > 0 {
+			meanStretch = stretchSum / float64(stretchN)
+		}
+		fmt.Printf("%-8s %8.2f %9.1f%% %9.1f%% %12.2f\n",
+			p.Name(), float64(deg)/n,
+			100*float64(greedyOK)/float64(trials),
+			100*float64(gfgOK)/float64(trials),
+			meanStretch)
+	}
+	fmt.Println("\nGFG delivers 100% on the planar RNG/GG topologies — sparse power-saving")
+	fmt.Println("topologies remain fully routable; non-planar ones (SPT, none) may not")
+	fmt.Println("recover from every local minimum.")
+}

@@ -1,0 +1,58 @@
+// Mobility sweep: reproduce the qualitative arc of the paper in one run —
+// pick a protocol, sweep the average moving speed, and watch connectivity
+// collapse without mobility management and survive with it (a condensed
+// Fig. 6 + Fig. 9 for a single protocol).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mstc/internal/experiment"
+	"mstc/internal/manet"
+)
+
+func main() {
+	log.SetFlags(0)
+	protocol := flag.String("protocol", "RNG", "protocol to sweep (MST, RNG, SPT-2, SPT-4)")
+	reps := flag.Int("reps", 3, "repetitions per point")
+	duration := flag.Float64("duration", 20, "seconds per run")
+	flag.Parse()
+
+	o := experiment.DefaultOptions()
+	o.Reps = *reps
+	o.Duration = *duration
+	o.Speeds = []float64{1, 10, 20, 40, 80, 160}
+
+	mechs := []manet.Mechanisms{
+		{},                            // raw
+		{Buffer: 10},                  // buffer only
+		{Buffer: 10, ViewSync: true},  // buffer + view synchronization
+		{Buffer: 100, ViewSync: true}, // wide buffer + view synchronization
+	}
+	labels := []string{"raw", "buf10", "buf10+VS", "buf100+VS"}
+
+	aggs, err := experiment.Sweep(o, []string{*protocol}, o.Speeds, mechs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("connectivity ratio of %s under increasing mobility (%d reps x %gs)\n\n",
+		*protocol, o.Reps, o.Duration)
+	fmt.Printf("%-10s", "speed m/s")
+	for _, l := range labels {
+		fmt.Printf("  %-14s", l)
+	}
+	fmt.Println()
+	i := 0
+	for _, sp := range o.Speeds {
+		fmt.Printf("%-10.0f", sp)
+		for range mechs {
+			a := aggs[i]
+			i++
+			fmt.Printf("  %-14s", fmt.Sprintf("%.3f±%.3f", a.Connectivity.Mean(), a.Connectivity.CI95()))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module mstc
+
+go 1.22

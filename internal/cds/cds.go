@@ -1,0 +1,208 @@
+// Package cds implements connected-dominating-set formation by the
+// Wu–Li marking process with Rule-1/Rule-2 pruning — the broadcast
+// infrastructure of the paper's references [34] (Wu & Dai 2003, generic
+// broadcast) and [35] (Wu & Dai 2004, mobility management for CDS-based
+// broadcasting). A CDS lets only gateway nodes forward broadcasts, cutting
+// the flooding overhead the reactive consistency scheme worries about
+// (§4.1: "a broadcast process can be efficiently implemented by selecting a
+// small forward node set").
+//
+// Inputs are 2-hop views: every node knows its neighbors and each
+// neighbor's neighbor list (gossiped in "Hello" messages). All decisions
+// are purely local, so the same code serves the omniscient analyzer and a
+// distributed implementation.
+package cds
+
+import "sort"
+
+// View is one node's 2-hop view: its own id, its neighbor ids, and each
+// neighbor's neighbor ids.
+type View struct {
+	Self      int
+	Neighbors []int
+	// NeighborsOf maps each neighbor id to that neighbor's own neighbor
+	// ids (as advertised).
+	NeighborsOf map[int][]int
+}
+
+// Marked applies the Wu–Li marking process to the view: the node is marked
+// (joins the dominating set) iff it has two neighbors that are not directly
+// connected.
+func Marked(v View) bool {
+	for i, a := range v.Neighbors {
+		na := v.NeighborsOf[a]
+		for _, b := range v.Neighbors[i+1:] {
+			if !containsInt(na, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Rule1 reports whether a marked node can unmark itself because a single
+// higher-priority marked neighbor covers its whole neighborhood:
+// N(u) ⊆ N(v) ∪ {v} with (deg, id) priority of v above u's.
+func Rule1(v View, marked func(int) bool) bool {
+	for _, w := range v.Neighbors {
+		if !marked(w) || !higherPriority(w, len(v.NeighborsOf[w]), v.Self, len(v.Neighbors)) {
+			continue
+		}
+		if coveredBy(v.Neighbors, w, v.NeighborsOf[w], nil, -1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Rule2 reports whether a marked node can unmark itself because two
+// *connected* higher-priority marked neighbors jointly cover its whole
+// neighborhood: N(u) ⊆ N(v) ∪ N(w) ∪ {v, w}.
+func Rule2(v View, marked func(int) bool) bool {
+	for i, a := range v.Neighbors {
+		if !marked(a) || !higherPriority(a, len(v.NeighborsOf[a]), v.Self, len(v.Neighbors)) {
+			continue
+		}
+		na := v.NeighborsOf[a]
+		for _, b := range v.Neighbors[i+1:] {
+			if !marked(b) || !higherPriority(b, len(v.NeighborsOf[b]), v.Self, len(v.Neighbors)) {
+				continue
+			}
+			if !containsInt(na, b) {
+				continue // v and w must be directly connected
+			}
+			if coveredBy(v.Neighbors, a, na, v.NeighborsOf[b], b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// coveredBy reports whether every id in nbrs is v1, v2, or inside cover1 ∪
+// cover2 (cover2/v2 may be nil/-1 for the single-cover case).
+func coveredBy(nbrs []int, v1 int, cover1, cover2 []int, v2 int) bool {
+	for _, x := range nbrs {
+		if x == v1 || x == v2 {
+			continue
+		}
+		if containsInt(cover1, x) || (cover2 != nil && containsInt(cover2, x)) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// higherPriority orders nodes by (degree, id): ties favor the larger id,
+// the standard Wu–Li priority that keeps pruning consistent network-wide.
+func higherPriority(a, degA, b, degB int) bool {
+	if degA != degB {
+		return degA > degB
+	}
+	return a > b
+}
+
+// Compute runs the full pipeline over an omniscient adjacency (adj[u] =
+// sorted neighbor ids of u): marking, then Rule-1 and Rule-2 pruning, and
+// returns the ids of the final dominating set in ascending order.
+func Compute(adj [][]int) []int {
+	n := len(adj)
+	views := make([]View, n)
+	for u := 0; u < n; u++ {
+		v := View{Self: u, Neighbors: adj[u], NeighborsOf: make(map[int][]int, len(adj[u]))}
+		for _, w := range adj[u] {
+			v.NeighborsOf[w] = adj[w]
+		}
+		views[u] = v
+	}
+	marks := make([]bool, n)
+	for u := 0; u < n; u++ {
+		marks[u] = Marked(views[u])
+	}
+	isMarked := func(x int) bool { return marks[x] }
+	// Pruning decisions read the *initial* marking (the rules are proven
+	// safe with respect to it and need no iteration).
+	pruned := make([]bool, n)
+	for u := 0; u < n; u++ {
+		if marks[u] && (Rule1(views[u], isMarked) || Rule2(views[u], isMarked)) {
+			pruned[u] = true
+		}
+	}
+	var out []int
+	for u := 0; u < n; u++ {
+		if marks[u] && !pruned[u] {
+			out = append(out, u)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsCDS reports whether set is a connected dominating set of the graph
+// given by adj: every node is in the set or adjacent to it, and the induced
+// subgraph over the set is connected. Graphs with fewer than 2 nodes, or a
+// complete neighborhood structure that marks nobody, accept the empty set
+// as vacuously dominating only when every node is adjacent to every other.
+func IsCDS(adj [][]int, set []int) bool {
+	n := len(adj)
+	if n <= 1 {
+		return true
+	}
+	in := make([]bool, n)
+	for _, v := range set {
+		in[v] = true
+	}
+	if len(set) == 0 {
+		// Only a complete graph (single clique) is dominated by nothing:
+		// then any single node reaches all others directly.
+		for u := 0; u < n; u++ {
+			if len(adj[u]) != n-1 {
+				return false
+			}
+		}
+		return true
+	}
+	// Domination.
+	for u := 0; u < n; u++ {
+		if in[u] {
+			continue
+		}
+		ok := false
+		for _, w := range adj[u] {
+			if in[w] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	// Connectivity of the induced subgraph.
+	seen := make([]bool, n)
+	stack := []int{set[0]}
+	seen[set[0]] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[u] {
+			if in[w] && !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == len(set)
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

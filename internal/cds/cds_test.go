@@ -1,0 +1,221 @@
+package cds
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mstc/internal/geom"
+	"mstc/internal/graph"
+	"mstc/internal/mobility"
+	"mstc/internal/xrand"
+)
+
+var arena = geom.Square(900)
+
+func adjOf(g *graph.Undirected) [][]int {
+	adj := make([][]int, g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, h := range g.Neighbors(u) {
+			adj[u] = append(adj[u], h.To)
+		}
+		// Neighbors() order is insertion order; sort for determinism.
+		for i := 1; i < len(adj[u]); i++ {
+			for j := i; j > 0 && adj[u][j] < adj[u][j-1]; j-- {
+				adj[u][j], adj[u][j-1] = adj[u][j-1], adj[u][j]
+			}
+		}
+	}
+	return adj
+}
+
+func viewOf(adj [][]int, u int) View {
+	v := View{Self: u, Neighbors: adj[u], NeighborsOf: map[int][]int{}}
+	for _, w := range adj[u] {
+		v.NeighborsOf[w] = adj[w]
+	}
+	return v
+}
+
+func TestMarkedLine(t *testing.T) {
+	// 0-1-2: node 1 has two unconnected neighbors, the ends do not.
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	adj := adjOf(g)
+	if Marked(viewOf(adj, 0)) || Marked(viewOf(adj, 2)) {
+		t.Error("leaf nodes must not be marked")
+	}
+	if !Marked(viewOf(adj, 1)) {
+		t.Error("middle node must be marked")
+	}
+}
+
+func TestMarkedTriangle(t *testing.T) {
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	adj := adjOf(g)
+	for u := 0; u < 3; u++ {
+		if Marked(viewOf(adj, u)) {
+			t.Errorf("clique node %d marked", u)
+		}
+	}
+	if got := Compute(adj); len(got) != 0 {
+		t.Errorf("triangle CDS = %v, want empty", got)
+	}
+	if !IsCDS(adj, nil) {
+		t.Error("empty set dominates a clique")
+	}
+}
+
+func TestComputeLine(t *testing.T) {
+	g := graph.NewUndirected(5)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(i-1, i, 1)
+	}
+	adj := adjOf(g)
+	got := Compute(adj)
+	want := []int{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("line CDS = %v, want %v", got, want)
+	}
+	if !IsCDS(adj, got) {
+		t.Error("line CDS invalid")
+	}
+}
+
+func TestRule1PrunesDominatedNode(t *testing.T) {
+	// Star plus chord: 0 is the hub connected to 1,2,3; 1 is connected
+	// to 2 as well. Node 1's neighborhood {0,2} is covered by hub 0
+	// (N(0) = {1,2,3}), and 0 has higher degree, so 1 must not survive.
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(1, 2, 1)
+	adj := adjOf(g)
+	got := Compute(adj)
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("CDS = %v, want [0]", got)
+	}
+}
+
+func TestCDSPropertyOnRandomGraphs(t *testing.T) {
+	// Wu–Li with Rule-1/2 pruning yields a CDS on every connected
+	// non-complete unit-disk instance.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 20 + rng.Intn(80)
+		pts := mobility.UniformPoints(arena, n, rng)
+		g := graph.UnitDisk(pts, 250)
+		if !g.Connected() {
+			return true
+		}
+		adj := adjOf(g)
+		set := Compute(adj)
+		if !IsCDS(adj, set) {
+			t.Logf("seed %d: invalid CDS %v", seed, set)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDSIsSmall(t *testing.T) {
+	// The pruned set should be a small fraction of a dense network.
+	rng := xrand.New(17)
+	for trial := 0; trial < 5; trial++ {
+		pts := mobility.UniformPoints(arena, 100, rng)
+		g := graph.UnitDisk(pts, 250)
+		if !g.Connected() {
+			continue
+		}
+		adj := adjOf(g)
+		set := Compute(adj)
+		if len(set) > 60 {
+			t.Errorf("CDS of size %d on a 100-node dense network (marking without pruning?)", len(set))
+		}
+		// And strictly smaller than plain marking.
+		markedCount := 0
+		for u := range adj {
+			if Marked(viewOf(adj, u)) {
+				markedCount++
+			}
+		}
+		if len(set) > markedCount {
+			t.Errorf("pruned set (%d) larger than marked set (%d)", len(set), markedCount)
+		}
+	}
+}
+
+func TestIsCDSRejectsBadSets(t *testing.T) {
+	g := graph.NewUndirected(5)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(i-1, i, 1)
+	}
+	adj := adjOf(g)
+	if IsCDS(adj, []int{1, 3}) {
+		t.Error("disconnected dominating set accepted")
+	}
+	if IsCDS(adj, []int{1}) {
+		t.Error("non-dominating set accepted")
+	}
+	if IsCDS(adj, nil) {
+		t.Error("empty set accepted for a path")
+	}
+	if !IsCDS(nil, nil) || !IsCDS([][]int{nil}, nil) {
+		t.Error("trivial graphs rejected")
+	}
+}
+
+func TestRule2JointCoverage(t *testing.T) {
+	// Node 0 has neighbors {1, 2, 3, 4}; 1 and 2 are connected to each
+	// other and jointly cover 3 and 4, and both out-rank 0 by degree
+	// (each gets two extra pendant-ish neighbors). Rule 1 cannot prune 0
+	// (neither 1 nor 2 alone covers it); Rule 2 must.
+	g := graph.NewUndirected(9)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(0, 4, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 4, 1)
+	g.AddEdge(1, 5, 1)
+	g.AddEdge(1, 6, 1)
+	g.AddEdge(2, 7, 1)
+	g.AddEdge(2, 8, 1)
+	adj := adjOf(g)
+	v0 := viewOf(adj, 0)
+	if !Marked(v0) {
+		t.Fatal("node 0 should be marked (neighbors 3 and 4 are unconnected)")
+	}
+	marked := func(x int) bool { return Marked(viewOf(adj, x)) }
+	if Rule1(v0, marked) {
+		t.Fatal("Rule 1 should not prune node 0 (no single cover)")
+	}
+	if !Rule2(v0, marked) {
+		t.Fatal("Rule 2 should prune node 0 (1 and 2 jointly cover)")
+	}
+	set := Compute(adj)
+	if contains(set, 0) {
+		t.Errorf("node 0 should be pruned by Rule 2; CDS = %v", set)
+	}
+	if !IsCDS(adj, set) {
+		t.Errorf("result %v is not a CDS", set)
+	}
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

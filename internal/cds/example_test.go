@@ -1,0 +1,18 @@
+package cds_test
+
+import (
+	"fmt"
+
+	"mstc/internal/cds"
+)
+
+// A five-node path: the three interior nodes form the dominating set.
+func ExampleCompute() {
+	adj := [][]int{{1}, {0, 2}, {1, 3}, {2, 4}, {3}}
+	set := cds.Compute(adj)
+	fmt.Println("gateways:", set)
+	fmt.Println("valid CDS:", cds.IsCDS(adj, set))
+	// Output:
+	// gateways: [1 2 3]
+	// valid CDS: true
+}

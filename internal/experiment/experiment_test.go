@@ -1,0 +1,283 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"mstc/internal/manet"
+)
+
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.N = 60
+	o.Reps = 2
+	o.Duration = 10
+	o.Speeds = []float64{1, 40}
+	o.Buffers = []float64{0, 100}
+	return o
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+	bad := []func(*Options){
+		func(o *Options) { o.N = 1 },
+		func(o *Options) { o.ArenaSide = 0 },
+		func(o *Options) { o.NormalRange = -1 },
+		func(o *Options) { o.Speeds = nil },
+		func(o *Options) { o.Reps = 0 },
+		func(o *Options) { o.Duration = 0 },
+	}
+	for i, mutate := range bad {
+		o := DefaultOptions()
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: bad options accepted", i)
+		}
+	}
+}
+
+func TestExecuteDeterministicAcrossWorkerCounts(t *testing.T) {
+	o := tinyOptions()
+	tasks := []Run{
+		{Protocol: "RNG", Speed: 40, Rep: 0},
+		{Protocol: "RNG", Speed: 40, Rep: 1},
+		{Protocol: "MST", Speed: 1, Rep: 0},
+		{Protocol: "SPT-2", Speed: 40, Mech: manet.Mechanisms{Buffer: 10}, Rep: 0},
+	}
+	o.Workers = 1
+	seq, err := Execute(o, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 4
+	par, err := Execute(o, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("task %d: sequential %+v != parallel %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestPairedMobilityAcrossProtocols(t *testing.T) {
+	// Different protocols at the same (speed, rep) must see the same
+	// mobility trace; we can't observe the trace directly, but re-running
+	// the same task must reproduce bit-identical results.
+	o := tinyOptions()
+	r := Run{Protocol: "RNG", Speed: 40, Rep: 1}
+	a, err := Execute(o, []Run{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(o, []Run{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Errorf("same task not reproducible: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestExecuteUnknownProtocol(t *testing.T) {
+	o := tinyOptions()
+	if _, err := Execute(o, []Run{{Protocol: "nope", Speed: 1}}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := Execute(o, []Run{{Protocol: "GG", Speed: 1, Mech: manet.Mechanisms{WeakK: 2}}}); err == nil {
+		t.Error("weak GG accepted")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	o := tinyOptions()
+	aggs, err := Sweep(o, []string{"RNG", "MST"}, []float64{1, 40}, []manet.Mechanisms{{}, {Buffer: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 2*2*2 {
+		t.Fatalf("aggregates = %d, want 8", len(aggs))
+	}
+	for _, a := range aggs {
+		if a.Connectivity.N() != o.Reps {
+			t.Errorf("%s speed=%v: %d reps, want %d", a.Protocol, a.Speed, a.Connectivity.N(), o.Reps)
+		}
+		if a.Connectivity.Mean() < 0 || a.Connectivity.Mean() > 1 {
+			t.Errorf("connectivity out of range: %v", a.Connectivity.Mean())
+		}
+		if a.TxRange.Mean() <= 0 || a.TxRange.Mean() > o.NormalRange {
+			t.Errorf("range out of range: %v", a.TxRange.Mean())
+		}
+	}
+	// Order: protocol-major.
+	if aggs[0].Protocol != "RNG" || aggs[4].Protocol != "MST" {
+		t.Errorf("ordering wrong: %v / %v", aggs[0].Protocol, aggs[4].Protocol)
+	}
+}
+
+func TestBufferImprovesConnectivity(t *testing.T) {
+	// The central claim of Fig. 7: at moderate mobility, a 100 m buffer
+	// beats no buffer.
+	o := tinyOptions()
+	o.Reps = 3
+	aggs, err := Sweep(o, []string{"RNG"}, []float64{40}, []manet.Mechanisms{{}, {Buffer: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, buf := aggs[0].Connectivity.Mean(), aggs[1].Connectivity.Mean()
+	if buf <= raw {
+		t.Errorf("100 m buffer did not improve connectivity: %.3f vs %.3f", raw, buf)
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	o := tinyOptions()
+	tab, err := Table1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	s := tab.String()
+	for _, p := range BaselineNames {
+		if !strings.Contains(s, p) {
+			t.Errorf("table missing %s:\n%s", p, s)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	o := tinyOptions()
+	fig, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != len(o.Speeds) || len(s.Y) != len(o.Speeds) || len(s.CI) != len(o.Speeds) {
+			t.Errorf("series %s has wrong length", s.Name)
+		}
+	}
+	if !strings.Contains(fig.String(), "speed (m/s)") {
+		t.Error("figure rendering missing x label")
+	}
+}
+
+func TestFigureAndTableStringEdgeCases(t *testing.T) {
+	empty := Figure{Title: "t", XLabel: "x", YLabel: "y"}
+	if got := empty.String(); !strings.Contains(got, "t") {
+		t.Errorf("empty figure render: %q", got)
+	}
+	tab := Table{Header: []string{"a", "long-header"}, Rows: [][]string{{"wider-than-header", "b"}}}
+	s := tab.String()
+	if !strings.Contains(s, "wider-than-header") || !strings.Contains(s, "long-header") {
+		t.Errorf("table render: %q", s)
+	}
+}
+
+func TestFigConsistencyShape(t *testing.T) {
+	o := tinyOptions()
+	o.Speeds = []float64{20}
+	fig, err := FigConsistency(o, "MST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d, want 5", len(fig.Series))
+	}
+	names := map[string]bool{}
+	for _, s := range fig.Series {
+		names[s.Name] = true
+		if len(s.Y) != 1 {
+			t.Errorf("series %s has %d points", s.Name, len(s.Y))
+		}
+	}
+	for _, want := range []string{"plain", "viewsync", "weak-k3", "proactive", "reactive"} {
+		if !names[want] {
+			t.Errorf("missing series %q", want)
+		}
+	}
+}
+
+func TestTableEnergyShape(t *testing.T) {
+	o := tinyOptions()
+	tab, err := TableEnergy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (4 baselines + none)", len(tab.Rows))
+	}
+	if tab.Rows[4][0] != "none" {
+		t.Errorf("last row = %q, want none", tab.Rows[4][0])
+	}
+	if !strings.Contains(tab.String(), "x less") {
+		t.Error("savings column missing")
+	}
+}
+
+func TestFigRoutingShape(t *testing.T) {
+	o := tinyOptions()
+	o.Speeds = []float64{1, 40}
+	fig, err := FigRouting(o, "GG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 2 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Y))
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Errorf("delivery %v out of range", y)
+			}
+		}
+	}
+	// At low speed, delivery should be decent on GG.
+	if fig.Series[0].Y[0] < 0.5 {
+		t.Errorf("GG greedy delivery at 1 m/s = %.3f, suspiciously low", fig.Series[0].Y[0])
+	}
+	if _, err := FigRouting(o, "nope"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestFigureDat(t *testing.T) {
+	f := Figure{
+		Title:  "demo",
+		XLabel: "speed",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{0.5, 0.25}, CI: []float64{0.1, 0.05}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{1, 0.75}, CI: []float64{0, 0.01}},
+		},
+	}
+	got := f.Dat()
+	want := "# demo\n# speed\ta\ta_ci95\tb\tb_ci95\n" +
+		"1\t0.500000\t0.100000\t1.000000\t0.000000\n" +
+		"2\t0.250000\t0.050000\t0.750000\t0.010000\n"
+	if got != want {
+		t.Errorf("Dat =\n%q\nwant\n%q", got, want)
+	}
+	empty := Figure{Title: "t", XLabel: "x"}
+	if got := empty.Dat(); !strings.HasPrefix(got, "# t\n") {
+		t.Errorf("empty Dat = %q", got)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{1: "1", 1.5: "1.5", 0.25: "0.25", 100: "100"}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

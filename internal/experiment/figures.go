@@ -1,0 +1,285 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mstc/internal/manet"
+)
+
+// BaselineNames are the four baseline protocols in the paper's order.
+var BaselineNames = []string{"MST", "RNG", "SPT-4", "SPT-2"}
+
+// Table1 reproduces Table 1: average transmission range and node degree of
+// the baseline protocols (measured under negligible mobility, 1 m/s, with
+// no mechanisms — the paper's static-equivalent operating point).
+func Table1(o Options) (Table, error) {
+	aggs, err := Sweep(o, BaselineNames, []float64{1}, []manet.Mechanisms{{}})
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  "Table 1: average transmission range and node degree of baseline protocols",
+		Header: []string{"Protocol", "TxRange (m)", "±95%", "Node degree", "±95%"},
+	}
+	for _, a := range aggs {
+		t.Rows = append(t.Rows, []string{
+			a.Protocol,
+			fmt.Sprintf("%.1f", a.TxRange.Mean()),
+			fmt.Sprintf("%.1f", a.TxRange.CI95()),
+			fmt.Sprintf("%.2f", a.LogicalDegree.Mean()),
+			fmt.Sprintf("%.2f", a.LogicalDegree.CI95()),
+		})
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: connectivity ratio of the baseline protocols
+// versus average moving speed, no mechanisms.
+func Fig6(o Options) (Figure, error) {
+	aggs, err := Sweep(o, BaselineNames, o.Speeds, []manet.Mechanisms{{}})
+	if err != nil {
+		return Figure{}, err
+	}
+	f := Figure{
+		Title:  "Fig. 6: connectivity ratio of baseline protocols",
+		XLabel: "speed (m/s)",
+		YLabel: "connectivity ratio",
+	}
+	i := 0
+	for _, p := range BaselineNames {
+		s := Series{Name: p}
+		for _, sp := range o.Speeds {
+			a := aggs[i]
+			i++
+			s.X = append(s.X, sp)
+			s.Y = append(s.Y, a.Connectivity.Mean())
+			s.CI = append(s.CI, a.Connectivity.CI95())
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// mechSweepFigure runs one protocol across speeds for each mechanism
+// configuration and returns one series per configuration.
+func mechSweepFigure(o Options, protocol, title string, mechs []manet.Mechanisms, label func(manet.Mechanisms) string) (Figure, error) {
+	aggs, err := Sweep(o, []string{protocol}, o.Speeds, mechs)
+	if err != nil {
+		return Figure{}, err
+	}
+	f := Figure{
+		Title:  title,
+		XLabel: "speed (m/s)",
+		YLabel: "connectivity ratio",
+	}
+	series := make([]Series, len(mechs))
+	for mi, m := range mechs {
+		series[mi] = Series{Name: label(m)}
+	}
+	i := 0
+	for _, sp := range o.Speeds {
+		for mi := range mechs {
+			a := aggs[i]
+			i++
+			series[mi].X = append(series[mi].X, sp)
+			series[mi].Y = append(series[mi].Y, a.Connectivity.Mean())
+			series[mi].CI = append(series[mi].CI, a.Connectivity.CI95())
+		}
+	}
+	f.Series = series
+	return f, nil
+}
+
+// Fig7 reproduces Figure 7 (a–d): per-protocol connectivity ratio versus
+// speed for each buffer-zone width, no other mechanisms.
+func Fig7(o Options) ([]Figure, error) {
+	var figs []Figure
+	for fi, p := range BaselineNames {
+		var mechs []manet.Mechanisms
+		for _, b := range o.Buffers {
+			mechs = append(mechs, manet.Mechanisms{Buffer: b})
+		}
+		f, err := mechSweepFigure(o, p,
+			fmt.Sprintf("Fig. 7%c: %s connectivity with buffer zones", 'a'+fi, p),
+			mechs,
+			func(m manet.Mechanisms) string { return fmt.Sprintf("buf=%gm", m.Buffer) })
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}
+
+// Fig8 reproduces Figure 8: (a) average transmission range and (b) average
+// number of physical neighbors versus buffer-zone width, per protocol, at
+// moderate mobility (40 m/s).
+func Fig8(o Options) (Figure, Figure, error) {
+	const speed = 40
+	var mechs []manet.Mechanisms
+	for _, b := range o.Buffers {
+		mechs = append(mechs, manet.Mechanisms{Buffer: b})
+	}
+	aggs, err := Sweep(o, BaselineNames, []float64{speed}, mechs)
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	fa := Figure{
+		Title:  "Fig. 8a: average transmission range vs buffer zone width (40 m/s)",
+		XLabel: "buffer (m)",
+		YLabel: "transmission range (m)",
+	}
+	fb := Figure{
+		Title:  "Fig. 8b: average number of physical neighbors vs buffer zone width (40 m/s)",
+		XLabel: "buffer (m)",
+		YLabel: "physical neighbors",
+	}
+	i := 0
+	for _, p := range BaselineNames {
+		sa := Series{Name: p}
+		sb := Series{Name: p}
+		for _, b := range o.Buffers {
+			a := aggs[i]
+			i++
+			sa.X = append(sa.X, b)
+			sa.Y = append(sa.Y, a.TxRange.Mean())
+			sa.CI = append(sa.CI, a.TxRange.CI95())
+			sb.X = append(sb.X, b)
+			sb.Y = append(sb.Y, a.PhysicalDegree.Mean())
+			sb.CI = append(sb.CI, a.PhysicalDegree.CI95())
+		}
+		fa.Series = append(fa.Series, sa)
+		fb.Series = append(fb.Series, sb)
+	}
+	return fa, fb, nil
+}
+
+// Fig9 reproduces Figure 9 (a–d): per-protocol connectivity with and
+// without view synchronization, per buffer width.
+func Fig9(o Options) ([]Figure, error) {
+	var figs []Figure
+	for fi, p := range BaselineNames {
+		var mechs []manet.Mechanisms
+		for _, b := range o.Buffers {
+			mechs = append(mechs,
+				manet.Mechanisms{Buffer: b},
+				manet.Mechanisms{Buffer: b, ViewSync: true})
+		}
+		f, err := mechSweepFigure(o, p,
+			fmt.Sprintf("Fig. 9%c: %s connectivity with/without view synchronization", 'a'+fi, p),
+			mechs,
+			func(m manet.Mechanisms) string {
+				if m.ViewSync {
+					return fmt.Sprintf("VS buf=%gm", m.Buffer)
+				}
+				return fmt.Sprintf("buf=%gm", m.Buffer)
+			})
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}
+
+// TableEnergy is an extension table quantifying the paper's motivation:
+// per-transmission energy and control overhead of every protocol relative
+// to the uncontrolled network, at low mobility (1 m/s) with no mechanisms.
+func TableEnergy(o Options) (Table, error) {
+	names := append([]string{}, BaselineNames...)
+	names = append(names, "none")
+	aggs, err := Sweep(o, names, []float64{1}, []manet.Mechanisms{{}})
+	if err != nil {
+		return Table{}, err
+	}
+	// Baseline for savings: the uncontrolled network's per-tx energy.
+	var nonePerTx float64
+	for _, a := range aggs {
+		if a.Protocol == "none" {
+			nonePerTx = a.EnergyPerTx.Mean()
+		}
+	}
+	t := Table{
+		Title: "Extension: per-transmission energy and overhead (1 m/s, no mechanisms)",
+		Header: []string{"Protocol", "TxRange (m)", "Energy/tx", "vs none", "Connectivity",
+			"Hello tx", "Data tx"},
+	}
+	for _, a := range aggs {
+		saving := "-"
+		if nonePerTx > 0 && a.Protocol != "none" {
+			saving = fmt.Sprintf("%.1fx less", nonePerTx/a.EnergyPerTx.Mean())
+		}
+		t.Rows = append(t.Rows, []string{
+			a.Protocol,
+			fmt.Sprintf("%.1f", a.TxRange.Mean()),
+			fmt.Sprintf("%.3f", a.EnergyPerTx.Mean()),
+			saving,
+			fmt.Sprintf("%.3f", a.Connectivity.Mean()),
+			fmt.Sprintf("%.0f", a.HelloTx.Mean()),
+			fmt.Sprintf("%.0f", a.DataTx.Mean()),
+		})
+	}
+	return t, nil
+}
+
+// FigConsistency is an extension experiment beyond the paper's figures: it
+// compares, per protocol, every consistency scheme the paper proposes —
+// none, simplified view synchronization (§5.1), weak consistency with k=3
+// (§4.2), proactive strong consistency (§4.1), and reactive strong
+// consistency (§4.1) — at a fixed 10 m buffer across speeds.
+func FigConsistency(o Options, protocol string) (Figure, error) {
+	const buf = 10
+	mechs := []manet.Mechanisms{
+		{Buffer: buf},
+		{Buffer: buf, ViewSync: true},
+		{Buffer: buf, WeakK: 3},
+		{Buffer: buf, Proactive: true},
+		{Buffer: buf, Reactive: true},
+	}
+	labels := []string{"plain", "viewsync", "weak-k3", "proactive", "reactive"}
+	f, err := mechSweepFigure(o, protocol,
+		fmt.Sprintf("Extension: %s under each consistency scheme (10 m buffer)", protocol),
+		mechs,
+		func(m manet.Mechanisms) string {
+			switch {
+			case m.ViewSync:
+				return labels[1]
+			case m.WeakK > 0:
+				return labels[2]
+			case m.Proactive:
+				return labels[3]
+			case m.Reactive:
+				return labels[4]
+			}
+			return labels[0]
+		})
+	return f, err
+}
+
+// Fig10 reproduces Figure 10 (a–d): per-protocol connectivity before and
+// after enabling the physical-neighbor mechanism, per buffer width.
+func Fig10(o Options) ([]Figure, error) {
+	var figs []Figure
+	for fi, p := range BaselineNames {
+		var mechs []manet.Mechanisms
+		for _, b := range o.Buffers {
+			mechs = append(mechs,
+				manet.Mechanisms{Buffer: b},
+				manet.Mechanisms{Buffer: b, PhysicalNeighbors: true})
+		}
+		f, err := mechSweepFigure(o, p,
+			fmt.Sprintf("Fig. 10%c: %s connectivity before/after physical neighbors", 'a'+fi, p),
+			mechs,
+			func(m manet.Mechanisms) string {
+				if m.PhysicalNeighbors {
+					return fmt.Sprintf("PN buf=%gm", m.Buffer)
+				}
+				return fmt.Sprintf("buf=%gm", m.Buffer)
+			})
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}

@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Dat renders the figure in gnuplot-friendly whitespace-separated columns:
+// a comment header, then one row per x value with y and ci columns per
+// series ("x  s1_y s1_ci  s2_y s2_ci ...").
+func (f Figure) Dat() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n# %s", f.Title, f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "\t%s\t%s_ci95", s.Name, s.Name)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i, x := range f.Series[0].X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "\t%.6f\t%.6f", s.Y[i], s.CI[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series is one line of a figure: y(x) with confidence half-widths.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	CI   []float64
+}
+
+// Figure is a printable set of series sharing an x-axis.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// String renders the figure as a table: one x column plus y±ci per series.
+func (f Figure) String() string {
+	t := Table{Title: fmt.Sprintf("%s  (y: %s)", f.Title, f.YLabel)}
+	t.Header = append(t.Header, f.XLabel)
+	for _, s := range f.Series {
+		t.Header = append(t.Header, s.Name)
+	}
+	if len(f.Series) == 0 {
+		return t.String()
+	}
+	for i, x := range f.Series[0].X {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			row = append(row, fmt.Sprintf("%.3f±%.3f", s.Y[i], s.CI[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t.String()
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.2f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

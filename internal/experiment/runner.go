@@ -1,0 +1,267 @@
+// Package experiment drives the paper's evaluation: it sweeps protocol ×
+// speed × mechanism configurations, fans independent repetitions out over a
+// worker pool, aggregates results with 95 % confidence intervals, and
+// renders the tables and figure series of §5.
+//
+// Determinism: repetition r of any configuration always uses the mobility
+// substream (seed, speed, r) and the network substream (seed, cfg, r), so
+// results are identical regardless of worker count, and different protocols
+// are compared on *paired* mobility traces (the variance-reduction setup a
+// simulation study wants).
+package experiment
+
+import (
+	"fmt"
+
+	"mstc/internal/geom"
+	"runtime"
+	"sync"
+
+	"mstc/internal/manet"
+	"mstc/internal/mobility"
+	"mstc/internal/stats"
+	"mstc/internal/topology"
+	"mstc/internal/xrand"
+)
+
+// Options are the evaluation-wide knobs. The zero value is not valid; start
+// from DefaultOptions (paper scale) or QuickOptions (CI scale).
+type Options struct {
+	// N is the node count (paper: 100).
+	N int
+	// ArenaSide is the square arena side in meters (paper: 900).
+	ArenaSide float64
+	// NormalRange is the normal transmission range in meters (paper: 250).
+	NormalRange float64
+	// Speeds are the average moving speeds (m/s) swept by the figures
+	// (paper: 1…160; speed s means per-leg speeds uniform in (0, 2s],
+	// the setdest convention).
+	Speeds []float64
+	// Buffers are the buffer-zone widths (m) swept by Figs. 7–10.
+	Buffers []float64
+	// Reps is the number of independent repetitions (paper: 20).
+	Reps int
+	// Duration is seconds of simulated time per run (paper: 100).
+	Duration float64
+	// FloodRate is connectivity probes per second (paper: 10).
+	FloodRate float64
+	// Seed is the root seed for the whole evaluation.
+	Seed uint64
+	// Workers bounds run concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns the paper's configuration (§5.1).
+func DefaultOptions() Options {
+	return Options{
+		N:           100,
+		ArenaSide:   900,
+		NormalRange: 250,
+		Speeds:      []float64{1, 20, 40, 80, 160},
+		Buffers:     []float64{0, 1, 10, 100},
+		Reps:        20,
+		Duration:    100,
+		FloodRate:   10,
+		Seed:        2004,
+	}
+}
+
+// QuickOptions returns a scaled-down configuration for tests and benches:
+// same network, fewer/shorter repetitions.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Reps = 3
+	o.Duration = 20
+	o.Speeds = []float64{1, 40, 160}
+	o.Buffers = []float64{0, 10, 100}
+	return o
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	switch {
+	case o.N < 2:
+		return fmt.Errorf("experiment: N = %d < 2", o.N)
+	case o.ArenaSide <= 0 || o.NormalRange <= 0:
+		return fmt.Errorf("experiment: bad geometry arena=%g range=%g", o.ArenaSide, o.NormalRange)
+	case len(o.Speeds) == 0:
+		return fmt.Errorf("experiment: no speeds")
+	case o.Reps < 1:
+		return fmt.Errorf("experiment: Reps = %d < 1", o.Reps)
+	case o.Duration <= 0:
+		return fmt.Errorf("experiment: Duration = %g", o.Duration)
+	}
+	return nil
+}
+
+// Run is one simulation task: a protocol/mechanism configuration at one
+// speed, one repetition.
+type Run struct {
+	// Protocol is a registry name ("MST", "RNG", "SPT-2", "SPT-4", ...).
+	Protocol string
+	// Speed is the average moving speed in m/s.
+	Speed float64
+	// Mech are the active mechanisms.
+	Mech manet.Mechanisms
+	// Rep is the repetition index in [0, Reps).
+	Rep int
+}
+
+// key returns the label deduplicating network substreams per configuration.
+func (r Run) key() uint64 {
+	h := xrand.New(uint64(len(r.Protocol)))
+	for _, c := range []byte(r.Protocol) {
+		h = xrand.New(h.Uint64() + uint64(c))
+	}
+	k := h.Uint64()
+	k ^= uint64(r.Speed * 1024)
+	k ^= uint64(r.Mech.Buffer*8) << 20
+	if r.Mech.ViewSync {
+		k ^= 1 << 40
+	}
+	if r.Mech.PhysicalNeighbors {
+		k ^= 1 << 41
+	}
+	if r.Mech.Reactive {
+		k ^= 1 << 42
+	}
+	k ^= uint64(r.Mech.WeakK) << 43
+	return k
+}
+
+// Execute runs all tasks, Workers at a time, and returns their results in
+// task order.
+func Execute(o Options, tasks []Run) ([]manet.Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	results := make([]manet.Result, len(tasks))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i], errs[i] = executeOne(o, tasks[i])
+			}
+		}()
+	}
+	for i := range tasks {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// executeOne builds and runs a single simulation.
+func executeOne(o Options, r Run) (manet.Result, error) {
+	arena := geom.Square(o.ArenaSide)
+	lo, hi := mobility.SpeedSetdest(r.Speed)
+	// Paired mobility: same (seed, speed, rep) trace for every protocol
+	// and mechanism configuration.
+	mobilitySeed := xrand.New(o.Seed).Sub('m', uint64(r.Speed*1000), uint64(r.Rep)).Uint64()
+	model, err := mobility.NewRandomWaypoint(arena, mobility.WaypointConfig{
+		N: o.N, SpeedMin: lo, SpeedMax: hi, Horizon: o.Duration,
+	}, xrand.New(mobilitySeed))
+	if err != nil {
+		return manet.Result{}, err
+	}
+	cfg := manet.Config{
+		NormalRange: o.NormalRange,
+		Mech:        r.Mech,
+		FloodRate:   o.FloodRate,
+		Seed:        xrand.New(o.Seed).Sub('n', r.key(), uint64(r.Rep)).Uint64(),
+	}
+	if r.Mech.WeakK > 0 {
+		w, err := topology.WeakByName(r.Protocol, o.NormalRange)
+		if err != nil {
+			return manet.Result{}, err
+		}
+		cfg.Weak = w
+	} else {
+		p, err := topology.ByName(r.Protocol, o.NormalRange)
+		if err != nil {
+			return manet.Result{}, err
+		}
+		cfg.Protocol = p
+	}
+	nw, err := manet.NewNetwork(model, cfg)
+	if err != nil {
+		return manet.Result{}, err
+	}
+	return nw.Run(o.Duration), nil
+}
+
+// Aggregate is the per-configuration summary over repetitions.
+type Aggregate struct {
+	Protocol string
+	Speed    float64
+	Mech     manet.Mechanisms
+
+	Connectivity   stats.Sample
+	TxRange        stats.Sample
+	LogicalDegree  stats.Sample
+	PhysicalDegree stats.Sample
+	EnergyPerTx    stats.Sample // normalized data energy per transmission
+	HelloTx        stats.Sample
+	DataTx         stats.Sample
+}
+
+// Sweep runs every (protocol, speed, mech) in the cross product for
+// o.Reps repetitions and aggregates. Results are ordered protocol-major,
+// then speed, then mech.
+func Sweep(o Options, protocols []string, speeds []float64, mechs []manet.Mechanisms) ([]Aggregate, error) {
+	var tasks []Run
+	for _, p := range protocols {
+		for _, s := range speeds {
+			for _, m := range mechs {
+				for rep := 0; rep < o.Reps; rep++ {
+					tasks = append(tasks, Run{Protocol: p, Speed: s, Mech: m, Rep: rep})
+				}
+			}
+		}
+	}
+	results, err := Execute(o, tasks)
+	if err != nil {
+		return nil, err
+	}
+	var aggs []Aggregate
+	i := 0
+	for _, p := range protocols {
+		for _, s := range speeds {
+			for _, m := range mechs {
+				agg := Aggregate{Protocol: p, Speed: s, Mech: m}
+				for rep := 0; rep < o.Reps; rep++ {
+					res := results[i]
+					i++
+					agg.Connectivity.Add(res.Connectivity)
+					agg.TxRange.Add(res.AvgTxRange)
+					agg.LogicalDegree.Add(res.AvgLogicalDegree)
+					agg.PhysicalDegree.Add(res.AvgPhysicalDegree)
+					if res.DataTx > 0 {
+						agg.EnergyPerTx.Add(res.DataEnergy / float64(res.DataTx))
+					}
+					agg.HelloTx.Add(float64(res.HelloTx))
+					agg.DataTx.Add(float64(res.DataTx))
+				}
+				aggs = append(aggs, agg)
+			}
+		}
+	}
+	return aggs, nil
+}

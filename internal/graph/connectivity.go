@@ -1,0 +1,157 @@
+package graph
+
+// Vertex-connectivity utilities supporting the fault-tolerance results
+// discussed in §2.2: Bahramgiri et al. extend CBTC to k-connectivity with
+// cone angle 2π/3k; these checks verify such claims on concrete instances.
+
+// ArticulationPoints returns the cut vertices of g (nodes whose removal
+// increases the number of components), in ascending order, via Tarjan's
+// low-link algorithm (iterative).
+func (g *Undirected) ArticulationPoints() []int {
+	n := g.N()
+	disc := make([]int, n)
+	low := make([]int, n)
+	parent := make([]int, n)
+	isCut := make([]bool, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	timer := 0
+
+	type frame struct {
+		u, idx int
+	}
+	for start := 0; start < n; start++ {
+		if disc[start] != -1 {
+			continue
+		}
+		rootChildren := 0
+		stack := []frame{{u: start}}
+		disc[start], low[start] = timer, timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.u
+			if f.idx < len(g.adj[u]) {
+				v := g.adj[u][f.idx].To
+				f.idx++
+				switch {
+				case disc[v] == -1:
+					parent[v] = u
+					if u == start {
+						rootChildren++
+					}
+					disc[v], low[v] = timer, timer
+					timer++
+					stack = append(stack, frame{u: v})
+				case v != parent[u]:
+					if disc[v] < low[u] {
+						low[u] = disc[v]
+					}
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if p := parent[u]; p != -1 {
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+				if p != start && low[u] >= disc[p] {
+					isCut[p] = true
+				}
+			}
+		}
+		if rootChildren > 1 {
+			isCut[start] = true
+		}
+	}
+	var out []int
+	for v, c := range isCut {
+		if c {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsBiconnected reports whether g is connected, has at least 3 nodes, and
+// has no articulation point.
+func (g *Undirected) IsBiconnected() bool {
+	if g.N() < 3 || !g.Connected() {
+		return false
+	}
+	return len(g.ArticulationPoints()) == 0
+}
+
+// IsKConnected reports whether g is k-vertex-connected: it has more than k
+// nodes and stays connected after removing any k-1 of them. k = 1 is plain
+// connectivity; k = 2 uses articulation points; larger k enumerates
+// (k-1)-subsets, exponential in k — intended for small k on simulation-
+// sized graphs.
+func (g *Undirected) IsKConnected(k int) bool {
+	switch {
+	case k < 1:
+		panic("graph: IsKConnected with k < 1")
+	case g.N() <= k:
+		return false
+	case k == 1:
+		return g.Connected()
+	case k == 2:
+		return g.IsBiconnected()
+	}
+	removed := make([]bool, g.N())
+	return g.connectedWithout(removed, k-1, 0)
+}
+
+// connectedWithout recursively chooses `left` more nodes (ids >= from) to
+// remove and checks connectivity of every resulting graph.
+func (g *Undirected) connectedWithout(removed []bool, left, from int) bool {
+	if left == 0 {
+		return g.connectedExcluding(removed)
+	}
+	for v := from; v <= g.N()-left; v++ {
+		removed[v] = true
+		if !g.connectedWithout(removed, left-1, v+1) {
+			removed[v] = false
+			return false
+		}
+		removed[v] = false
+	}
+	return true
+}
+
+// connectedExcluding reports whether the graph induced by the non-removed
+// nodes is connected (true when fewer than 2 nodes remain).
+func (g *Undirected) connectedExcluding(removed []bool) bool {
+	n := g.N()
+	start := -1
+	remaining := 0
+	for v := 0; v < n; v++ {
+		if !removed[v] {
+			remaining++
+			if start == -1 {
+				start = v
+			}
+		}
+	}
+	if remaining <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	seen[start] = true
+	stack := []int{start}
+	visited := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[u] {
+			if !removed[h.To] && !seen[h.To] {
+				seen[h.To] = true
+				visited++
+				stack = append(stack, h.To)
+			}
+		}
+	}
+	return visited == remaining
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mstc/internal/xrand"
+)
+
+func pathGraph(n int) *Undirected {
+	g := NewUndirected(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i-1, i, 1)
+	}
+	return g
+}
+
+func cycleGraph(n int) *Undirected {
+	g := pathGraph(n)
+	g.AddEdge(n-1, 0, 1)
+	return g
+}
+
+func completeGraph(n int) *Undirected {
+	g := NewUndirected(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	return g
+}
+
+func TestArticulationPointsPath(t *testing.T) {
+	g := pathGraph(5)
+	got := g.ArticulationPoints()
+	want := []int{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("path articulation points = %v, want %v", got, want)
+	}
+}
+
+func TestArticulationPointsCycleAndComplete(t *testing.T) {
+	if got := cycleGraph(6).ArticulationPoints(); len(got) != 0 {
+		t.Errorf("cycle has articulation points %v", got)
+	}
+	if got := completeGraph(5).ArticulationPoints(); len(got) != 0 {
+		t.Errorf("complete graph has articulation points %v", got)
+	}
+}
+
+func TestArticulationPointsBridgeOfTwoTriangles(t *testing.T) {
+	// Two triangles sharing vertex 2: vertex 2 is the unique cut vertex.
+	g := NewUndirected(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(2, 4, 1)
+	got := g.ArticulationPoints()
+	if !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("articulation points = %v, want [2]", got)
+	}
+}
+
+func TestArticulationMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 3 + rng.Intn(20)
+		g := NewUndirected(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					g.AddEdge(i, j, 1)
+				}
+			}
+		}
+		fast := map[int]bool{}
+		for _, v := range g.ArticulationPoints() {
+			fast[v] = true
+		}
+		baseComponents := components(g, -1)
+		for v := 0; v < n; v++ {
+			// v is a cut vertex iff removing it increases the component
+			// count among the remaining nodes.
+			if (components(g, v) > baseComponents) != fast[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// components counts connected components of g with node `skip` removed
+// (skip = -1 keeps all), counting only non-skipped nodes.
+func components(g *Undirected, skip int) int {
+	n := g.N()
+	seen := make([]bool, n)
+	count := 0
+	for s := 0; s < n; s++ {
+		if s == skip || seen[s] {
+			continue
+		}
+		count++
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range g.Neighbors(u) {
+				if h.To != skip && !seen[h.To] {
+					seen[h.To] = true
+					stack = append(stack, h.To)
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestIsBiconnected(t *testing.T) {
+	if pathGraph(5).IsBiconnected() {
+		t.Error("path is not biconnected")
+	}
+	if !cycleGraph(5).IsBiconnected() {
+		t.Error("cycle is biconnected")
+	}
+	if NewUndirected(2).IsBiconnected() {
+		t.Error("2 nodes cannot be biconnected")
+	}
+	disc := NewUndirected(4)
+	disc.AddEdge(0, 1, 1)
+	disc.AddEdge(2, 3, 1)
+	if disc.IsBiconnected() {
+		t.Error("disconnected graph is not biconnected")
+	}
+}
+
+func TestIsKConnected(t *testing.T) {
+	k4 := completeGraph(4)
+	for k := 1; k <= 3; k++ {
+		if !k4.IsKConnected(k) {
+			t.Errorf("K4 should be %d-connected", k)
+		}
+	}
+	if k4.IsKConnected(4) {
+		t.Error("K4 is not 4-connected (needs > k nodes)")
+	}
+	cyc := cycleGraph(6)
+	if !cyc.IsKConnected(2) || cyc.IsKConnected(3) {
+		t.Error("cycle is exactly 2-connected")
+	}
+	p := pathGraph(4)
+	if !p.IsKConnected(1) || p.IsKConnected(2) {
+		t.Error("path is exactly 1-connected")
+	}
+}
+
+func TestIsKConnectedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewUndirected(3).IsKConnected(0)
+}
+
+func TestKConnectivityMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 4 + rng.Intn(12)
+		g := NewUndirected(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					g.AddEdge(i, j, 1)
+				}
+			}
+		}
+		// k-connected implies (k-1)-connected.
+		for k := 3; k >= 2; k-- {
+			if g.IsKConnected(k) && !g.IsKConnected(k-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"mstc/internal/geom"
+)
+
+// Geometric constructions over a point set. These are the *centralized*
+// (omniscient) versions used as ground truth: on a static network a correct
+// localized protocol must select exactly these edges (RNG, Gabriel) or a
+// superset with identical connectivity (LMST vs. the Euclidean MST).
+
+// UnitDisk returns the unit-disk graph: an edge between every pair of points
+// at distance <= r, weighted by Euclidean distance. This models the original
+// topology under the normal transmission range.
+func UnitDisk(pts []geom.Point, r float64) *Undirected {
+	g := NewUndirected(len(pts))
+	r2 := r * r
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d2 := pts[i].Dist2(pts[j]); d2 <= r2 {
+				g.AddEdge(i, j, pts[i].Dist(pts[j]))
+			}
+		}
+	}
+	return g
+}
+
+// RNGGraph returns the relative neighborhood graph restricted to pairs at
+// distance <= maxRange: edge (u, v) survives unless some witness w has
+// d(u, w) < d(u, v) and d(v, w) < d(u, v) (Toussaint 1980).
+func RNGGraph(pts []geom.Point, maxRange float64) *Undirected {
+	g := NewUndirected(len(pts))
+	r2 := maxRange * maxRange
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist2(pts[j]) > r2 {
+				continue
+			}
+			if !hasLuneWitness(pts, i, j) {
+				g.AddEdge(i, j, pts[i].Dist(pts[j]))
+			}
+		}
+	}
+	return g
+}
+
+func hasLuneWitness(pts []geom.Point, i, j int) bool {
+	for w := range pts {
+		if w == i || w == j {
+			continue
+		}
+		if geom.InLune(pts[w], pts[i], pts[j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// GabrielGraph returns the Gabriel graph restricted to pairs at distance
+// <= maxRange: edge (u, v) survives unless some witness lies strictly inside
+// the disk with diameter uv (Gabriel & Sokal 1969).
+func GabrielGraph(pts []geom.Point, maxRange float64) *Undirected {
+	g := NewUndirected(len(pts))
+	r2 := maxRange * maxRange
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist2(pts[j]) > r2 {
+				continue
+			}
+			witness := false
+			for w := range pts {
+				if w != i && w != j && geom.InGabrielDisk(pts[w], pts[i], pts[j]) {
+					witness = true
+					break
+				}
+			}
+			if !witness {
+				g.AddEdge(i, j, pts[i].Dist(pts[j]))
+			}
+		}
+	}
+	return g
+}
+
+// YaoGraph returns the undirected closure of the Yao graph with k cones
+// restricted to range maxRange: each node keeps, per cone, its nearest
+// in-range neighbor (ties toward the smaller id); the union of directed
+// selections is returned as an undirected graph. Connected for k >= 6.
+func YaoGraph(pts []geom.Point, maxRange float64, k int) *Undirected {
+	g := NewUndirected(len(pts))
+	r2 := maxRange * maxRange
+	best := make([]int, k)
+	for u := range pts {
+		for c := range best {
+			best[c] = -1
+		}
+		for v := range pts {
+			if v == u {
+				continue
+			}
+			d2 := pts[u].Dist2(pts[v])
+			if d2 > r2 {
+				continue
+			}
+			c := geom.ConeIndex(pts[u], pts[v], k)
+			if best[c] == -1 {
+				best[c] = v
+				continue
+			}
+			bd2 := pts[u].Dist2(pts[best[c]])
+			if d2 < bd2 || (d2 == bd2 && v < best[c]) {
+				best[c] = v
+			}
+		}
+		for _, v := range best {
+			if v != -1 {
+				g.AddEdge(u, v, pts[u].Dist(pts[v]))
+			}
+		}
+	}
+	return g
+}
+
+// EuclideanMST returns the minimum spanning forest of the complete Euclidean
+// graph over pts (Prim on the implicit dense graph, O(n²)).
+func EuclideanMST(pts []geom.Point) []Edge {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	g := NewUndirected(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j, pts[i].Dist(pts[j]))
+		}
+	}
+	edges, _ := PrimMST(g)
+	return edges
+}

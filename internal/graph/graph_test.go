@@ -1,0 +1,378 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mstc/internal/geom"
+	"mstc/internal/mobility"
+	"mstc/internal/xrand"
+)
+
+func TestAddEdgeAndAccessors(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1, 2.5)
+	g.AddEdge(1, 2, 1.5)
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge must be symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge")
+	}
+	if w, ok := g.Weight(1, 2); !ok || w != 1.5 {
+		t.Errorf("Weight(1,2) = %v, %v", w, ok)
+	}
+	if _, ok := g.Weight(0, 3); ok {
+		t.Error("Weight of absent edge reported ok")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Errorf("degrees: %d %d", g.Degree(1), g.Degree(3))
+	}
+	want := []Edge{{0, 1, 2.5}, {1, 2, 1.5}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestAddEdgeDuplicateKeepsMin(t *testing.T) {
+	g := NewUndirected(2)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 0, 3)
+	g.AddEdge(0, 1, 7)
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if w, _ := g.Weight(0, 1); w != 3 {
+		t.Errorf("Weight = %v, want 3 (min)", w)
+	}
+	if w, _ := g.Weight(1, 0); w != 3 {
+		t.Errorf("reverse Weight = %v, want 3", w)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"self-loop":    func() { NewUndirected(2).AddEdge(1, 1, 1) },
+		"out-of-range": func() { NewUndirected(2).AddEdge(0, 2, 1) },
+		"negative-n":   func() { NewUndirected(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestComponentsAndConnected(t *testing.T) {
+	g := NewUndirected(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	comp := g.Components()
+	want := []int{0, 0, 0, 1, 1, 2}
+	if !reflect.DeepEqual(comp, want) {
+		t.Errorf("Components = %v, want %v", comp, want)
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(4, 5, 1)
+	if !g.Connected() {
+		t.Error("connected graph reported disconnected")
+	}
+	if !NewUndirected(0).Connected() || !NewUndirected(1).Connected() {
+		t.Error("trivial graphs must be connected")
+	}
+}
+
+func TestPairConnectivity(t *testing.T) {
+	g := NewUndirected(4) // components {0,1,2}, {3}
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	// connected pairs: 3 of 6
+	if got := g.PairConnectivity(); got != 0.5 {
+		t.Errorf("PairConnectivity = %v, want 0.5", got)
+	}
+	full := NewUndirected(3)
+	full.AddEdge(0, 1, 1)
+	full.AddEdge(1, 2, 1)
+	if got := full.PairConnectivity(); got != 1 {
+		t.Errorf("connected PairConnectivity = %v, want 1", got)
+	}
+	if got := NewUndirected(1).PairConnectivity(); got != 1 {
+		t.Errorf("singleton PairConnectivity = %v, want 1", got)
+	}
+}
+
+func TestDirectedReachability(t *testing.T) {
+	d := NewDirected(4)
+	d.AddArc(0, 1)
+	d.AddArc(1, 2)
+	d.AddArc(3, 0)
+	if d.N() != 4 || d.M() != 3 {
+		t.Fatalf("N=%d M=%d", d.N(), d.M())
+	}
+	if got := d.CountReachableFrom(0); got != 3 {
+		t.Errorf("reach from 0 = %d, want 3", got)
+	}
+	if got := d.CountReachableFrom(3); got != 4 {
+		t.Errorf("reach from 3 = %d, want 4", got)
+	}
+	if got := d.CountReachableFrom(2); got != 1 {
+		t.Errorf("reach from 2 = %d, want 1", got)
+	}
+	// avg over sources of (reach-1)/3: (2 + 1 + 0 + 3)/3/4 = 0.5
+	if got := d.AvgReachability(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("AvgReachability = %v, want 0.5", got)
+	}
+	if got := NewDirected(1).AvgReachability(); got != 1 {
+		t.Errorf("singleton AvgReachability = %v, want 1", got)
+	}
+}
+
+func TestDirectedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDirected(2).AddArc(0, 5)
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatalf("Sets = %d", uf.Sets())
+	}
+	if !uf.Union(0, 1) || !uf.Union(2, 3) {
+		t.Fatal("fresh unions must return true")
+	}
+	if uf.Union(1, 0) {
+		t.Error("repeat union returned true")
+	}
+	if uf.Sets() != 3 {
+		t.Errorf("Sets = %d, want 3", uf.Sets())
+	}
+	if !uf.Same(0, 1) || uf.Same(0, 2) {
+		t.Error("Same wrong")
+	}
+	uf.Union(1, 3)
+	if !uf.Same(0, 2) {
+		t.Error("transitive union failed")
+	}
+}
+
+func TestUnionFindMatchesComponents(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(60)
+		g := NewUndirected(n)
+		uf := NewUnionFind(n)
+		for e := 0; e < n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			g.AddEdge(u, v, 1)
+			uf.Union(u, v)
+		}
+		comp := g.Components()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if (comp[i] == comp[j]) != uf.Same(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrimMSTPath(t *testing.T) {
+	// Triangle with weights 1, 2, 3: MST drops the 3-edge.
+	g := NewUndirected(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 3)
+	edges, spanning := PrimMST(g)
+	if !spanning {
+		t.Fatal("triangle MST should span")
+	}
+	want := []Edge{{0, 1, 1}, {1, 2, 2}}
+	if !reflect.DeepEqual(edges, want) {
+		t.Errorf("MST = %v, want %v", edges, want)
+	}
+}
+
+func TestPrimMSTForest(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	edges, spanning := PrimMST(g)
+	if spanning {
+		t.Error("forest reported spanning")
+	}
+	if len(edges) != 2 {
+		t.Errorf("forest edges = %v", edges)
+	}
+	if _, ok := PrimMST(NewUndirected(0)); !ok {
+		t.Error("empty graph should be trivially spanning")
+	}
+}
+
+func TestPrimMSTWeightOptimal(t *testing.T) {
+	// Compare total weight with brute-force over all spanning trees on
+	// small random graphs (n <= 6 via Kruskal-verified optimum).
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(5)
+		g := NewUndirected(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.8 {
+					g.AddEdge(i, j, rng.Uniform(1, 100))
+				}
+			}
+		}
+		prim, primSpan := PrimMST(g)
+		kru, kruSpan := kruskal(g)
+		if primSpan != kruSpan {
+			return false
+		}
+		return math.Abs(weightSum(prim)-weightSum(kru)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// kruskal is an independent MST implementation for differential testing.
+func kruskal(g *Undirected) ([]Edge, bool) {
+	es := g.Edges()
+	// simple selection sort by weight then pair
+	for i := range es {
+		min := i
+		for j := i + 1; j < len(es); j++ {
+			if less(es[j].W, es[j].U, es[j].V, es[min].W, es[min].U, es[min].V) {
+				min = j
+			}
+		}
+		es[i], es[min] = es[min], es[i]
+	}
+	uf := NewUnionFind(g.N())
+	var out []Edge
+	for _, e := range es {
+		if uf.Union(e.U, e.V) {
+			out = append(out, e)
+		}
+	}
+	return out, uf.Sets() <= 1
+}
+
+func weightSum(es []Edge) float64 {
+	s := 0.0
+	for _, e := range es {
+		s += e.W
+	}
+	return s
+}
+
+func TestDijkstra(t *testing.T) {
+	g := NewUndirected(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(2, 3, 2)
+	dist, pred := Dijkstra(g, 0)
+	wantDist := []float64{0, 1, 2, 4, math.Inf(1)}
+	for i := range wantDist {
+		if dist[i] != wantDist[i] {
+			t.Errorf("dist[%d] = %v, want %v", i, dist[i], wantDist[i])
+		}
+	}
+	if pred[0] != -1 || pred[1] != 0 || pred[2] != 1 || pred[3] != 2 || pred[4] != -1 {
+		t.Errorf("pred = %v", pred)
+	}
+}
+
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(30)
+		g := NewUndirected(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(i, j, rng.Uniform(0.1, 50))
+				}
+			}
+		}
+		dist, _ := Dijkstra(g, 0)
+		want := bellmanFord(g, 0)
+		for i := range dist {
+			di, wi := dist[i], want[i]
+			if math.IsInf(di, 1) != math.IsInf(wi, 1) {
+				return false
+			}
+			if !math.IsInf(di, 1) && math.Abs(di-wi) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bellmanFord(g *Undirected, src int) []float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for it := 0; it < n; it++ {
+		for u := 0; u < n; u++ {
+			for _, h := range g.Neighbors(u) {
+				if nd := dist[u] + h.W; nd < dist[h.To] {
+					dist[h.To] = nd
+				}
+			}
+		}
+	}
+	return dist
+}
+
+func BenchmarkPrimMST100(b *testing.B) {
+	rng := xrand.New(1)
+	pts := mobility.UniformPoints(geom.Square(900), 100, rng)
+	g := UnitDisk(pts, 250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrimMST(g)
+	}
+}
+
+func BenchmarkDijkstra100(b *testing.B) {
+	rng := xrand.New(1)
+	pts := mobility.UniformPoints(geom.Square(900), 100, rng)
+	g := UnitDisk(pts, 250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dijkstra(g, i%100)
+	}
+}

@@ -1,0 +1,169 @@
+// Package hello implements the "Hello" beaconing data structures: versioned,
+// timestamped location advertisements and the per-node neighbor table that
+// stores the k most recent messages from every neighbor (§4.2, Theorem 3:
+// k = ceil(delta/Delta) + 1 recent messages suffice for weakly consistent
+// views; k = 1 gives the plain latest-message table of the baselines).
+//
+// The table is pure bookkeeping — no simulation clocks — so it is unit
+// testable in isolation; package manet drives it from the event loop.
+package hello
+
+import (
+	"fmt"
+	"sort"
+
+	"mstc/internal/geom"
+)
+
+// Message is one "Hello" advertisement: a node's id, the position it
+// advertises, the send timestamp, and a per-sender version number
+// (1 for the sender's first message, incrementing by 1). Neighbors and
+// Marked are the optional 2-hop payload used by CDS-based broadcasting
+// (references [34]/[35]): the sender's current neighbor ids and its own
+// Wu-Li marked status.
+type Message struct {
+	From      int
+	Pos       geom.Point
+	SentAt    float64
+	Version   uint64
+	Neighbors []int
+	Marked    bool
+}
+
+// Table is one node's neighbor table. It stores up to K recent messages per
+// neighbor (newest first) and expires neighbors whose newest message is
+// older than Expiry.
+type Table struct {
+	k      int
+	expiry float64
+	m      map[int][]Message
+}
+
+// NewTable creates a table keeping k >= 1 recent messages per neighbor;
+// entries expire once their newest message is older than expiry seconds
+// (expiry <= 0 disables expiry).
+func NewTable(k int, expiry float64) *Table {
+	if k < 1 {
+		panic(fmt.Sprintf("hello: table with k = %d", k))
+	}
+	return &Table{k: k, expiry: expiry, m: make(map[int][]Message)}
+}
+
+// K returns the per-neighbor history depth.
+func (t *Table) K() int { return t.k }
+
+// Observe records a received message, evicting the oldest stored message
+// from the same sender beyond the history depth. Messages may arrive out
+// of order; the table keeps the k highest versions. A duplicate version
+// replaces the stored copy.
+func (t *Table) Observe(msg Message) {
+	h := t.m[msg.From]
+	// Insert by descending version.
+	idx := sort.Search(len(h), func(i int) bool { return h[i].Version <= msg.Version })
+	if idx < len(h) && h[idx].Version == msg.Version {
+		h[idx] = msg
+	} else {
+		h = append(h, Message{})
+		copy(h[idx+1:], h[idx:])
+		h[idx] = msg
+	}
+	if len(h) > t.k {
+		h = h[:t.k]
+	}
+	t.m[msg.From] = h
+}
+
+// Forget removes all state for the given neighbor.
+func (t *Table) Forget(id int) { delete(t.m, id) }
+
+// Len returns the number of neighbors with at least one stored message
+// (expired or not; call GC first for a live count).
+func (t *Table) Len() int { return len(t.m) }
+
+// live reports whether a history is unexpired at the given time.
+func (t *Table) live(h []Message, now float64) bool {
+	return len(h) > 0 && (t.expiry <= 0 || now-h[0].SentAt <= t.expiry)
+}
+
+// Latest returns the newest stored message per live neighbor, ascending by
+// neighbor id.
+func (t *Table) Latest(now float64) []Message {
+	out := make([]Message, 0, len(t.m))
+	for _, h := range t.m {
+		if t.live(h, now) {
+			out = append(out, h[0])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}
+
+// History returns up to k stored messages for the given neighbor, newest
+// first, or nil if the neighbor is absent or expired.
+func (t *Table) History(id int, now float64) []Message {
+	h := t.m[id]
+	if !t.live(h, now) {
+		return nil
+	}
+	out := make([]Message, len(h))
+	copy(out, h)
+	return out
+}
+
+// Versioned returns, per live neighbor, the stored message with exactly the
+// given version, ascending by neighbor id. Neighbors lacking that version
+// are omitted — this is the lookup the proactive strong-consistency scheme
+// performs when a data packet pins a timestamp (§4.1).
+func (t *Table) Versioned(version uint64, now float64) []Message {
+	out := make([]Message, 0, len(t.m))
+	for _, h := range t.m {
+		if !t.live(h, now) {
+			continue
+		}
+		for _, msg := range h {
+			if msg.Version == version {
+				out = append(out, msg)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}
+
+// AsOf returns, per live neighbor, the newest stored message with version
+// at most v, ascending by neighbor id. Neighbors with no such version are
+// omitted. This is the lookup behind the proactive strong-consistency
+// scheme (§4.1): all nodes relaying a packet pinned to version v resolve
+// each neighbor to the *same* message, so their local views are consistent
+// in the sense of Theorem 2.
+func (t *Table) AsOf(v uint64, now float64) []Message {
+	out := make([]Message, 0, len(t.m))
+	for _, h := range t.m {
+		if !t.live(h, now) {
+			continue
+		}
+		// h is sorted by descending version; pick the first <= v.
+		for _, msg := range h {
+			if msg.Version <= v {
+				out = append(out, msg)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}
+
+// GC drops neighbors whose newest message is expired and returns how many
+// were dropped.
+func (t *Table) GC(now float64) int {
+	dropped := 0
+	for id, h := range t.m {
+		if !t.live(h, now) {
+			delete(t.m, id)
+			dropped++
+		}
+	}
+	return dropped
+}

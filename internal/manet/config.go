@@ -1,0 +1,201 @@
+// Package manet composes the substrates — discrete-event engine, mobility
+// model, ideal radio, "Hello" beaconing, and the topology-control framework
+// — into the full simulation of the paper's evaluation (§5): nodes beacon
+// asynchronously, select logical neighbors, adjust transmission power, and
+// forward periodic network-wide floods whose delivery ratio measures weak
+// connectivity.
+//
+// The three mobility-management mechanisms under study are switchable per
+// run: the buffer zone (§4.3), the simplified on-the-fly view
+// synchronization (§5.1), and the physical-neighbor relaxation (§5.1).
+// Weak-consistency selection (§4.2) and reactive strong consistency (§4.1)
+// are additionally available beyond what the paper simulated.
+package manet
+
+import (
+	"fmt"
+
+	"mstc/internal/radio"
+	"mstc/internal/topology"
+)
+
+// Mechanisms selects which mobility-management mechanisms are active.
+type Mechanisms struct {
+	// Buffer is the buffer-zone width l in meters: nodes transmit with
+	// range actual + Buffer (clamped to the normal range).
+	Buffer float64
+	// ViewSync enables the simplified view-synchronization mechanism:
+	// every node re-selects logical neighbors when it originates or
+	// forwards a packet, using the latest "Hello" information and its own
+	// previously advertised position.
+	ViewSync bool
+	// PhysicalNeighbors makes receivers accept (and forward) packets even
+	// when they are not in the sender's logical neighbor set.
+	PhysicalNeighbors bool
+	// WeakK > 0 replaces plain selection with weak-consistency selection
+	// over the WeakK most recent "Hello" messages per neighbor (§4.2).
+	// Requires Config.Weak.
+	WeakK int
+	// Reactive replaces asynchronous beaconing with synchronized rounds
+	// (the reactive strong-consistency scheme, §4.1): all nodes advertise
+	// at the start of each "Hello" interval with a shared version and
+	// select using only same-version messages.
+	Reactive bool
+	// CDSForward restricts flood forwarding to the connected dominating
+	// set computed distributedly by Wu-Li marking with Rule-1/2 pruning
+	// (references [34]/[35]): "Hello" messages additionally gossip
+	// neighbor lists and marked status, and only gateways re-forward.
+	// Requires PhysicalNeighbors (CDS broadcast replaces topology-layer
+	// receiver filtering as the overhead-reduction mechanism).
+	CDSForward bool
+	// SelfPruning reduces flood forwarding with neighborhood-aware
+	// self-pruning (the broadcast scheme of the paper's reference [34],
+	// Wu & Dai 2003): packets carry the sender's known 1-hop neighbor
+	// set, and a receiver re-forwards only if it has a neighbor the
+	// sender does not cover. Delivery accounting is unchanged — only
+	// redundant forwards are elided.
+	SelfPruning bool
+	// Proactive enables the proactive strong-consistency scheme (§4.1):
+	// "Hello" messages carry epoch-derived timestamps, every flood packet
+	// pins the last complete epoch, and each relaying node re-selects its
+	// logical neighbors from the view as of that epoch — so all nodes a
+	// packet visits decide on consistent local views (Theorem 2).
+	Proactive bool
+}
+
+// ChurnConfig parameterizes node-failure injection.
+type ChurnConfig struct {
+	// MeanUp is the mean up-time in seconds before a failure.
+	MeanUp float64
+	// MeanDown is the mean outage duration in seconds.
+	MeanDown float64
+}
+
+// Enabled reports whether churn injection is active.
+func (c ChurnConfig) Enabled() bool { return c.MeanUp > 0 && c.MeanDown > 0 }
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// NormalRange is the normal (maximum) transmission range in meters
+	// (250 in the paper).
+	NormalRange float64
+	// HelloMin/HelloMax bound the per-node fixed "Hello" interval,
+	// drawn uniformly per node (1 ± 0.25 s in the paper).
+	HelloMin, HelloMax float64
+	// HelloExpiry drops neighbor entries whose newest message is older
+	// than this (default 2 * HelloMax).
+	HelloExpiry float64
+	// Protocol selects logical neighbors (required unless WeakK > 0).
+	Protocol topology.Protocol
+	// Weak is the weak-consistency selector used when Mech.WeakK > 0.
+	Weak topology.WeakProtocol
+	// Mech are the active mobility-management mechanisms.
+	Mech Mechanisms
+	// Radio configures the medium (per-hop delay, loss, grid cell).
+	Radio radio.Config
+	// FloodRate is floods per second used to probe weak connectivity
+	// (10 in the paper). 0 disables flooding.
+	FloodRate float64
+	// FloodSettle is how long after origination a flood is scored
+	// (every reachable node has forwarded by then). Default 0.5 s.
+	FloodSettle float64
+	// ForwardJitterMax is the maximum per-hop forwarding backoff in
+	// seconds (default 1 ms), modelling MAC-layer scheduling jitter.
+	ForwardJitterMax float64
+	// SampleRate is metric samples per second (10 in the paper).
+	SampleRate float64
+	// SnapshotEvery, if positive, additionally samples the strict
+	// (snapshot) connectivity of the directed effective topology every
+	// that many seconds.
+	SnapshotEvery float64
+	// Churn, when both fields are positive, injects node failures: each
+	// node alternates between up and down states with exponentially
+	// distributed durations. A down node neither beacons, receives, nor
+	// forwards — the failure model behind the fault-tolerance discussion
+	// of §2.2 (k-connected topologies resist node failures).
+	Churn ChurnConfig
+	// PosNoise, when positive, adds independent Gaussian noise (std-dev
+	// in meters per axis) to every advertised position — imprecise
+	// location information (§1). With consistent views the logical
+	// topology still connects (all nodes share the same wrong data);
+	// only effective links suffer, which the buffer zone absorbs.
+	PosNoise float64
+	// EnergyAlpha is the path-loss exponent of the energy accounting
+	// model: a transmission with range r costs (r/NormalRange)^EnergyAlpha
+	// normalized energy units (default 2). Accounting only — it does not
+	// affect protocol behavior.
+	EnergyAlpha float64
+	// Seed drives every stochastic choice of the run.
+	Seed uint64
+}
+
+// withDefaults returns c with unset fields defaulted to the paper's values.
+func (c Config) withDefaults() Config {
+	if c.NormalRange == 0 {
+		c.NormalRange = 250
+	}
+	if c.HelloMin == 0 {
+		c.HelloMin = 0.75
+	}
+	if c.HelloMax == 0 {
+		c.HelloMax = 1.25
+	}
+	if c.HelloExpiry == 0 {
+		c.HelloExpiry = 2 * c.HelloMax
+	}
+	if c.FloodSettle == 0 {
+		c.FloodSettle = 0.5
+	}
+	if c.ForwardJitterMax == 0 {
+		c.ForwardJitterMax = 0.001
+	}
+	if c.SampleRate == 0 {
+		c.SampleRate = 10
+	}
+	if c.EnergyAlpha == 0 {
+		c.EnergyAlpha = 2
+	}
+	return c
+}
+
+// validate reports configuration errors.
+func (c Config) validate() error {
+	switch {
+	case c.NormalRange <= 0:
+		return fmt.Errorf("manet: NormalRange must be positive, got %g", c.NormalRange)
+	case c.HelloMin <= 0 || c.HelloMax < c.HelloMin:
+		return fmt.Errorf("manet: need 0 < HelloMin <= HelloMax, got [%g, %g]", c.HelloMin, c.HelloMax)
+	case c.Mech.Buffer < 0:
+		return fmt.Errorf("manet: negative buffer width %g", c.Mech.Buffer)
+	case c.Mech.WeakK < 0:
+		return fmt.Errorf("manet: negative WeakK %d", c.Mech.WeakK)
+	case c.Mech.WeakK > 0 && c.Weak == nil:
+		return fmt.Errorf("manet: WeakK set but no weak selector configured")
+	case c.Mech.WeakK == 0 && c.Protocol == nil:
+		return fmt.Errorf("manet: no protocol configured")
+	case c.FloodRate < 0 || c.SampleRate <= 0:
+		return fmt.Errorf("manet: bad rates flood=%g sample=%g", c.FloodRate, c.SampleRate)
+	case c.Mech.Reactive && c.Mech.WeakK > 0:
+		return fmt.Errorf("manet: Reactive and WeakK are mutually exclusive")
+	case c.Mech.Proactive && (c.Mech.Reactive || c.Mech.WeakK > 0):
+		return fmt.Errorf("manet: Proactive is mutually exclusive with Reactive and WeakK")
+	case c.Mech.CDSForward && !c.Mech.PhysicalNeighbors:
+		return fmt.Errorf("manet: CDSForward requires PhysicalNeighbors")
+	case c.Mech.CDSForward && c.Mech.SelfPruning:
+		return fmt.Errorf("manet: CDSForward and SelfPruning are mutually exclusive")
+	case (c.Churn.MeanUp < 0 || c.Churn.MeanDown < 0) ||
+		(c.Churn.MeanUp > 0) != (c.Churn.MeanDown > 0):
+		return fmt.Errorf("manet: churn needs both MeanUp and MeanDown positive (or both zero)")
+	case c.PosNoise < 0:
+		return fmt.Errorf("manet: negative PosNoise %g", c.PosNoise)
+	}
+	return nil
+}
+
+// ProtocolName returns the configured protocol's display name.
+func (c Config) ProtocolName() string {
+	if c.Mech.WeakK > 0 {
+		return c.Weak.Name()
+	}
+	return c.Protocol.Name()
+}

@@ -1,0 +1,69 @@
+package manet
+
+import (
+	"fmt"
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/mobility"
+	"mstc/internal/snapshot"
+	"mstc/internal/topology"
+)
+
+// TestSimMatchesIdealSnapshotWhenStatic is the end-to-end consistency check
+// between the two halves of the library: on a static network, the
+// protocol-state machine driven by gossiped "Hello" messages must converge
+// to exactly the selections and ranges the omniscient snapshot analyzer
+// computes from true positions.
+func TestSimMatchesIdealSnapshotWhenStatic(t *testing.T) {
+	model := connectedStatic(t, 100, 100, 10)
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = model.PositionAt(i, 0)
+	}
+	for _, p := range topology.Baselines(250) {
+		nw, err := NewNetwork(model, Config{Protocol: p, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.Run(10)
+		want := snapshot.Selections(pts, p, 250)
+		for u := range pts {
+			if got := nw.LogicalNeighbors(u); fmt.Sprint(got) != fmt.Sprint(want[u]) {
+				t.Fatalf("%s node %d: sim selection %v != ideal %v", p.Name(), u, got, want[u])
+			}
+		}
+		if got := nw.EffectiveDigraphAt(10).AvgReachability(); got < 0.999 {
+			t.Errorf("%s: static digraph reachability %.3f, want 1", p.Name(), got)
+		}
+	}
+}
+
+// TestLineTopologyExact pins down the full pipeline on a hand-checkable
+// 4-node line: RNG keeps exactly the consecutive links.
+func TestLineTopologyExact(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(200, 0), geom.Pt(300, 0)}
+	model := mobility.NewStatic(arena, pts, 20)
+	nw, err := NewNetwork(model, Config{Protocol: topology.RNG{}, FloodRate: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := nw.Run(20)
+	want := [][]int{{1}, {0, 2}, {1, 3}, {2}}
+	for id := range pts {
+		if got := nw.LogicalNeighbors(id); fmt.Sprint(got) != fmt.Sprint(want[id]) {
+			t.Errorf("node %d logical = %v, want %v", id, got, want[id])
+		}
+		if id == 1 || id == 2 {
+			if r := nw.ActualRange(id); r != 100 {
+				t.Errorf("node %d actual range = %v, want 100", id, r)
+			}
+		}
+	}
+	if res.Connectivity < 0.999 {
+		t.Errorf("line connectivity = %.3f, want 1", res.Connectivity)
+	}
+	if res.AvgLogicalDegree != 1.5 {
+		t.Errorf("avg logical degree = %v, want 1.5", res.AvgLogicalDegree)
+	}
+}

@@ -1,0 +1,48 @@
+package manet
+
+import (
+	"fmt"
+	"testing"
+
+	"mstc/internal/graph"
+	"mstc/internal/topology"
+)
+
+// TestDiagnoseLoss separates the two failure modes of §1: disconnected
+// logical topology (inconsistent views) vs broken effective links (outdated
+// positions). Exploratory; run with -v.
+func TestDiagnoseLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic run")
+	}
+	model := waypointModel(t, 40, 42)
+	nw, err := NewNetwork(model, Config{
+		Protocol: topology.RNG{}, FloodRate: 0, Seed: 7,
+		Mech: Mechanisms{Buffer: 10, ViewSync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logicalSum, effectiveSum, rangeFail, rangeTotal float64
+	samples := 0
+	nw.eng.Every(5, 5, func(now float64) {
+		// Logical digraph: arc u->v iff v in u's logical set (range
+		// ignored).
+		ld := graph.NewDirected(len(nw.nodes))
+		for _, nd := range nw.nodes {
+			for _, v := range nd.logical {
+				ld.AddArc(nd.id, v)
+				rangeTotal++
+				if nw.med.PositionAt(nd.id, now).Dist(nw.med.PositionAt(v, now)) > nd.txRange {
+					rangeFail++
+				}
+			}
+		}
+		logicalSum += ld.AvgReachability()
+		effectiveSum += nw.EffectiveDigraphAt(now).AvgReachability()
+		samples++
+	})
+	nw.Run(30)
+	fmt.Printf("logical=%.3f effective=%.3f rangeFailFrac=%.3f\n",
+		logicalSum/float64(samples), effectiveSum/float64(samples), rangeFail/rangeTotal)
+}

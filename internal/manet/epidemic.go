@@ -1,0 +1,177 @@
+package manet
+
+import (
+	"fmt"
+
+	"mstc/internal/sim"
+)
+
+// Epidemic (store-carry-forward) message dissemination — the
+// mobility-assisted management of §2.2, combined with the mobility-tolerant
+// effective topology exactly as the paper's future-work section proposes
+// (§6): "The snapshot of an effective topology is not connected at every
+// moment, but a message can be delivered within a bounded period of time."
+//
+// A message spreads in two ways at once: instantaneously along the current
+// effective topology (every carrier floods its connected component, the
+// mobility-tolerant part), and over time as carriers physically move into
+// new components (the mobility-assisted part). Delivery is scored against a
+// deadline window.
+
+// EpidemicConfig parameterizes a dissemination run.
+type EpidemicConfig struct {
+	// Window is the delivery deadline in seconds after origination.
+	Window float64
+	// Check is the contact-evaluation period in seconds (default 0.25):
+	// how often carriers probe for new effective-topology contacts.
+	Check float64
+	// Messages is how many messages to inject, spaced evenly across the
+	// run so each has a full Window before the run ends.
+	Messages int
+}
+
+func (c EpidemicConfig) withDefaults() EpidemicConfig {
+	if c.Check == 0 {
+		c.Check = 0.25
+	}
+	return c
+}
+
+func (c EpidemicConfig) validate() error {
+	switch {
+	case c.Window <= 0:
+		return fmt.Errorf("manet: epidemic Window must be positive, got %g", c.Window)
+	case c.Check <= 0:
+		return fmt.Errorf("manet: epidemic Check must be positive, got %g", c.Check)
+	case c.Messages < 1:
+		return fmt.Errorf("manet: epidemic Messages must be >= 1, got %d", c.Messages)
+	}
+	return nil
+}
+
+// EpidemicResult aggregates a dissemination run.
+type EpidemicResult struct {
+	// Delivered is the mean fraction of non-source nodes reached within
+	// the window.
+	Delivered float64
+	// MeanDelay is the mean delivery delay in seconds over all delivered
+	// (message, node) pairs.
+	MeanDelay float64
+	// Messages is the number of scored messages.
+	Messages int
+}
+
+// epidemicMsg is one in-flight message.
+type epidemicMsg struct {
+	src       int
+	start     float64
+	deadline  float64
+	has       []bool
+	reached   int // nodes with the message, source included
+	delaySum  float64
+	delivered int // non-source deliveries within the window
+}
+
+// RunEpidemic drives the network for duration seconds with the usual
+// beaconing and selection active (so the effective topology evolves exactly
+// as in Run) and measures epidemic dissemination instead of flooding.
+// FloodRate is ignored; mechanisms (buffer, physical neighbors, ...) shape
+// the effective topology the messages ride on.
+func (nw *Network) RunEpidemic(duration float64, ec EpidemicConfig) (EpidemicResult, error) {
+	ec = ec.withDefaults()
+	if err := ec.validate(); err != nil {
+		return EpidemicResult{}, err
+	}
+	warmup := 2 * nw.cfg.HelloMax
+	if duration < warmup+ec.Window {
+		return EpidemicResult{}, fmt.Errorf("manet: duration %g too short for warmup %g + window %g",
+			duration, warmup, ec.Window)
+	}
+	if !nw.cfg.Mech.Reactive {
+		for _, nd := range nw.nodes {
+			nd := nd
+			first := nw.rng.Sub('f', uint64(nd.id)).Uniform(0, nd.interval)
+			nw.eng.Every(first, nd.interval, func(now sim.Time) {
+				nw.sendHello(nd, now)
+			})
+		}
+	} else {
+		nw.scheduleReactiveRounds()
+	}
+
+	var msgs []*epidemicMsg
+	res := EpidemicResult{}
+	totalDelivered, totalPairs, delaySum, delayCount := 0, 0, 0.0, 0
+
+	// Injection schedule: evenly spaced so every message gets its window.
+	span := duration - warmup - ec.Window
+	for i := 0; i < ec.Messages; i++ {
+		at := warmup
+		if ec.Messages > 1 {
+			at += span * float64(i) / float64(ec.Messages-1)
+		}
+		i := i
+		nw.eng.Schedule(at, func(now sim.Time) {
+			m := &epidemicMsg{
+				src:      nw.rng.Sub('e', uint64(i)).Intn(len(nw.nodes)),
+				start:    now,
+				deadline: now + ec.Window,
+				has:      make([]bool, len(nw.nodes)),
+			}
+			m.has[m.src] = true
+			m.reached = 1
+			msgs = append(msgs, m)
+			nw.spread(m, now) // immediate flood within the current component
+			nw.eng.Schedule(m.deadline, func(sim.Time) {
+				totalDelivered += m.delivered
+				totalPairs += len(nw.nodes) - 1
+				delaySum += m.delaySum
+				delayCount += m.delivered
+				res.Messages++
+				m.reached = -1 // retire
+			})
+		})
+	}
+
+	nw.eng.Every(warmup+ec.Check, ec.Check, func(now sim.Time) {
+		for _, m := range msgs {
+			if m.reached > 0 && m.reached < len(m.has) {
+				nw.spread(m, now)
+			}
+		}
+	})
+
+	nw.eng.Run(duration)
+	if totalPairs > 0 {
+		res.Delivered = float64(totalDelivered) / float64(totalPairs)
+	}
+	if delayCount > 0 {
+		res.MeanDelay = delaySum / float64(delayCount)
+	}
+	return res, nil
+}
+
+// spread infects every node reachable from the current carrier set over the
+// instantaneous effective topology.
+func (nw *Network) spread(m *epidemicMsg, now sim.Time) {
+	d := nw.EffectiveDigraphAt(now)
+	stack := make([]int, 0, m.reached)
+	for id, has := range m.has {
+		if has {
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range d.Out(u) {
+			if !m.has[v] {
+				m.has[v] = true
+				m.reached++
+				m.delivered++
+				m.delaySum += now - m.start
+				stack = append(stack, int(v))
+			}
+		}
+	}
+}

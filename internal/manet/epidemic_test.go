@@ -1,0 +1,127 @@
+package manet
+
+import (
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/mobility"
+	"mstc/internal/topology"
+)
+
+func TestEpidemicStaticConnectedDeliversInstantly(t *testing.T) {
+	model := connectedStatic(t, 201, 80, 20)
+	nw, err := NewNetwork(model, Config{Protocol: topology.RNG{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.RunEpidemic(20, EpidemicConfig{Window: 5, Messages: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 3 {
+		t.Fatalf("scored %d messages, want 3", res.Messages)
+	}
+	if res.Delivered < 0.999 {
+		t.Errorf("static connected epidemic delivered %.3f, want 1", res.Delivered)
+	}
+	if res.MeanDelay > 0.001 {
+		t.Errorf("static connected epidemic delay %.4f, want ~0 (delivered by the first flood)", res.MeanDelay)
+	}
+}
+
+func TestEpidemicStaticPartitionedStaysPartitioned(t *testing.T) {
+	// Two clusters far apart, no mobility: the epidemic cannot bridge.
+	pts := make([]geom.Point, 0, 20)
+	for i := 0; i < 10; i++ {
+		pts = append(pts, geom.Pt(float64(i)*20, 0))
+	}
+	for i := 0; i < 10; i++ {
+		pts = append(pts, geom.Pt(float64(i)*20, 890))
+	}
+	model := mobility.NewStatic(arena, pts, 20)
+	nw, err := NewNetwork(model, Config{Protocol: topology.RNG{}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.RunEpidemic(20, EpidemicConfig{Window: 5, Messages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each message reaches only its own 10-node cluster: 9 of 19 others.
+	want := 9.0 / 19.0
+	if res.Delivered < want-0.01 || res.Delivered > want+0.01 {
+		t.Errorf("partitioned epidemic delivered %.3f, want ~%.3f", res.Delivered, want)
+	}
+}
+
+func TestEpidemicBridgesPartitionsUnderMobility(t *testing.T) {
+	// MST under mobility has terrible instantaneous connectivity, but
+	// store-carry-forward with a bounded window should deliver far more —
+	// the paper's future-work "weak connectivity with bounded delay".
+	model := waypointModel(t, 20, 301)
+	flood, err := NewNetwork(model, Config{
+		Protocol: topology.MST{Range: 250}, FloodRate: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres := flood.Run(40)
+
+	epi, err := NewNetwork(model, Config{
+		Protocol: topology.MST{Range: 250}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := epi.RunEpidemic(40, EpidemicConfig{Window: 10, Messages: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eres.Delivered <= fres.Connectivity+0.1 {
+		t.Errorf("epidemic (%.3f) should far exceed instantaneous flooding (%.3f)",
+			eres.Delivered, fres.Connectivity)
+	}
+	if eres.MeanDelay <= 0 || eres.MeanDelay >= 10 {
+		t.Errorf("mean delay %.3f outside (0, window)", eres.MeanDelay)
+	}
+}
+
+func TestEpidemicDelayShrinksWithWindowlessness(t *testing.T) {
+	// A wider delivery window can only increase the delivered fraction.
+	model := waypointModel(t, 20, 303)
+	run := func(window float64) float64 {
+		nw, err := NewNetwork(model, Config{Protocol: topology.MST{Range: 250}, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nw.RunEpidemic(40, EpidemicConfig{Window: window, Messages: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Delivered
+	}
+	short, long := run(2), run(15)
+	if long < short {
+		t.Errorf("longer window delivered less: %.3f vs %.3f", long, short)
+	}
+}
+
+func TestEpidemicValidation(t *testing.T) {
+	model := connectedStatic(t, 205, 10, 30)
+	nw, err := NewNetwork(model, Config{Protocol: topology.RNG{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RunEpidemic(30, EpidemicConfig{Window: 0, Messages: 1}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := nw.RunEpidemic(30, EpidemicConfig{Window: 5, Messages: 0}); err == nil {
+		t.Error("zero messages accepted")
+	}
+	if _, err := nw.RunEpidemic(30, EpidemicConfig{Window: 5, Check: -1, Messages: 1}); err == nil {
+		t.Error("negative check accepted")
+	}
+	if _, err := nw.RunEpidemic(3, EpidemicConfig{Window: 5, Messages: 1}); err == nil {
+		t.Error("duration shorter than warmup+window accepted")
+	}
+}

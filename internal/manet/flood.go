@@ -1,0 +1,128 @@
+package manet
+
+import (
+	"math"
+
+	"mstc/internal/sim"
+)
+
+// energyOf returns the normalized transmission energy of a packet sent at
+// the given fraction of full range under path-loss exponent alpha.
+func energyOf(rangeFrac, alpha float64) float64 {
+	if rangeFrac <= 0 {
+		return 0
+	}
+	return math.Pow(rangeFrac, alpha)
+}
+
+// flood tracks one network-wide broadcast probe.
+type flood struct {
+	src      int
+	pin      uint64 // pinned view version (proactive scheme), 0 = unpinned
+	accepted []bool // node has accepted (and will forward) the packet
+	count    int    // accepted nodes including the source
+}
+
+// originateFlood starts one weak-connectivity probe from a uniformly random
+// source (§5.1: broadcasts from random sources, 10 per second).
+func (nw *Network) originateFlood(now sim.Time) {
+	src := nw.rng.Intn(len(nw.nodes))
+	fl := &flood{src: src, accepted: make([]bool, len(nw.nodes))}
+	if nw.cfg.Mech.Proactive {
+		// Pin the last *complete* epoch: every node has advertised under
+		// it and all those advertisements have propagated.
+		if e := nw.epoch(now); e > 1 {
+			fl.pin = e - 1
+		} else {
+			fl.pin = 1
+		}
+	}
+	fl.accepted[src] = true
+	fl.count = 1
+	nw.transmit(fl, src, now)
+	nw.eng.ScheduleIn(nw.cfg.FloodSettle, func(sim.Time) {
+		nw.floods++
+		nw.deliverySum += float64(fl.count-1) / float64(len(nw.nodes)-1)
+	})
+}
+
+// transmit is one node's broadcast of the flood packet: the sender (re-)
+// selects under view synchronization, transmits with its current range, and
+// receivers that accept schedule their own forwards after a small jitter.
+//
+// Acceptance follows the paper's forwarding rule exactly: the sender's
+// logical neighbor set travels in the packet header and a receiver not in
+// it drops the packet — unless the physical-neighbor mechanism is on.
+// Unidirectional links are used as-is (§5.1).
+func (nw *Network) transmit(fl *flood, sender int, now sim.Time) {
+	nd := nw.nodes[sender]
+	if nd.isDown(now) {
+		return // failed between acceptance and forward
+	}
+	if fl.pin > 0 {
+		// Proactive consistency: select on the view pinned to the
+		// packet's version (§4.1).
+		nw.selectAsOf(nd, now, fl.pin)
+	} else if nw.cfg.Mech.ViewSync {
+		// On-the-fly re-selection using the latest "Hello" information,
+		// with the sender's own *advertised* position standing in for its
+		// current one so that its local view matches what neighbors hold
+		// (§5.1, "View synchronization").
+		nw.updateSelection(nd, now, nd.advertisedPos)
+	}
+	nw.dataTx++
+	nw.dataEnergy += energyOf(nd.txRange/nw.cfg.NormalRange, nw.cfg.EnergyAlpha)
+	tx, receivers := nw.med.Transmit(now, sender, nd.txRange, nw.recvBuf[:0])
+	nw.recvBuf = receivers
+	airtime := nw.med.TxDuration()
+	var senderCover map[int]bool
+	if nw.cfg.Mech.SelfPruning {
+		// The packet header additionally carries the sender's known 1-hop
+		// neighborhood (it already carries the logical set).
+		senderCover = map[int]bool{sender: true}
+		for _, m := range nd.table.Latest(now) {
+			senderCover[m.From] = true
+		}
+	}
+	for _, rid := range receivers {
+		if fl.accepted[rid] {
+			continue
+		}
+		if !nw.cfg.Mech.PhysicalNeighbors && !nd.isLogical[rid] {
+			continue // dropped at the topology layer
+		}
+		rid := rid
+		delay := airtime + nw.med.Delay() + nw.rng.Uniform(0, nw.cfg.ForwardJitterMax)
+		nw.eng.ScheduleIn(delay, func(later sim.Time) {
+			// Acceptance resolves at delivery: the node may have accepted
+			// a concurrent copy meanwhile, and under the collision MAC
+			// this copy may have been jammed.
+			if fl.accepted[rid] || nw.nodes[rid].isDown(later) {
+				return
+			}
+			if airtime > 0 && nw.med.Collides(tx, rid) {
+				return
+			}
+			fl.accepted[rid] = true
+			fl.count++
+			if senderCover != nil && !nw.coversNew(rid, later, senderCover) {
+				return // self-pruned: everything we reach was covered
+			}
+			if nw.cfg.Mech.CDSForward && !nw.nodes[rid].cdsMarked {
+				return // non-gateway: deliver but do not re-forward
+			}
+			nw.transmit(fl, rid, later)
+		})
+	}
+}
+
+// coversNew reports whether node id knows a neighbor outside the sender's
+// covered set — the self-pruning forwarding condition.
+func (nw *Network) coversNew(id int, now sim.Time, cover map[int]bool) bool {
+	for _, m := range nw.nodes[id].table.Latest(now) {
+		if !cover[m.From] {
+			return true
+		}
+	}
+	return false
+}

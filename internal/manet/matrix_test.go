@@ -1,0 +1,40 @@
+package manet
+
+import (
+	"fmt"
+	"testing"
+
+	"mstc/internal/topology"
+)
+
+// TestMatrixMechanisms prints the buffer × view-sync matrix at 40 m/s for
+// RNG and SPT-2 (exploratory calibration against Figs. 7 and 9).
+func TestMatrixMechanisms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	protos := map[string]topology.Protocol{
+		"RNG":   topology.RNG{},
+		"SPT-2": topology.SPT{Alpha: 2, Range: 250},
+	}
+	for name, p := range protos {
+		for _, buf := range []float64{1, 10, 100} {
+			for _, vs := range []bool{false, true} {
+				sum := 0.0
+				const reps = 3
+				for rep := uint64(0); rep < reps; rep++ {
+					model := waypointModel(t, 40, 42+rep)
+					nw, err := NewNetwork(model, Config{
+						Protocol: p, FloodRate: 10, Seed: 7 + rep,
+						Mech: Mechanisms{Buffer: buf, ViewSync: vs},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					sum += nw.Run(30).Connectivity
+				}
+				fmt.Printf("%-6s buf=%3.0f vs=%-5v conn=%.3f\n", name, buf, vs, sum/reps)
+			}
+		}
+	}
+}

@@ -1,0 +1,526 @@
+package manet
+
+import (
+	"math"
+
+	"mstc/internal/cds"
+	"mstc/internal/geom"
+	"mstc/internal/graph"
+	"mstc/internal/hello"
+	"mstc/internal/mobility"
+	"mstc/internal/radio"
+	"mstc/internal/sim"
+	"mstc/internal/topology"
+	"mstc/internal/xrand"
+)
+
+// node is the per-node protocol state.
+type node struct {
+	id            int
+	interval      float64 // fixed per-node Hello interval
+	version       uint64  // next Hello version
+	advertisedPos geom.Point
+	advertisedAt  float64
+	table         *hello.Table
+	ownHist       []hello.Message // own recent advertisements, newest first
+	logical       []int           // current logical neighbor ids (ascending)
+	isLogical     []bool          // membership mask, len = n
+	actualRange   float64
+	txRange       float64 // actual + buffer, clamped
+	cdsMarked     bool    // own Wu-Li marked status (CDSForward mechanism)
+	downUntil     float64 // churn: node is failed until this instant
+}
+
+// isDown reports whether the node is failed at time t.
+func (nd *node) isDown(t float64) bool { return t < nd.downUntil }
+
+// ownHistDepth bounds the per-node history of own advertisements kept for
+// pinned-version (proactive) selection.
+const ownHistDepth = 4
+
+func (nd *node) recordOwn(msg hello.Message) {
+	nd.ownHist = append(nd.ownHist, hello.Message{})
+	copy(nd.ownHist[1:], nd.ownHist)
+	nd.ownHist[0] = msg
+	if len(nd.ownHist) > ownHistDepth {
+		nd.ownHist = nd.ownHist[:ownHistDepth]
+	}
+}
+
+// ownAsOf returns the node's newest advertisement with version <= v, falling
+// back to the oldest stored one.
+func (nd *node) ownAsOf(v uint64) hello.Message {
+	for _, m := range nd.ownHist {
+		if m.Version <= v {
+			return m
+		}
+	}
+	if len(nd.ownHist) > 0 {
+		return nd.ownHist[len(nd.ownHist)-1]
+	}
+	return hello.Message{From: nd.id, Pos: nd.advertisedPos}
+}
+
+// Network is one simulation run. Build with NewNetwork, drive with Run.
+type Network struct {
+	cfg   Config
+	model mobility.Model
+	eng   *sim.Engine
+	med   *radio.Medium
+	rng   *xrand.Source
+	nodes []*node
+
+	// accumulators
+	floods        int
+	deliverySum   float64
+	rangeSum      float64
+	rangeSamples  int
+	logDegSum     float64
+	phyDegSum     float64
+	degSamples    int
+	snapshotSum   float64
+	snapshotCount int
+	helloTx       int
+	dataTx        int
+	dataEnergy    float64
+	helloEnergy   float64
+
+	recvBuf []int
+}
+
+// NewNetwork builds a run over the given mobility model.
+func NewNetwork(model mobility.Model, cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed)
+	med, err := radio.NewMedium(model, cfg.Radio, root.Sub('r'))
+	if err != nil {
+		return nil, err
+	}
+	n := model.N()
+	nw := &Network{
+		cfg:   cfg,
+		model: model,
+		eng:   sim.NewEngine(),
+		med:   med,
+		rng:   root.Sub('n'),
+		nodes: make([]*node, n),
+	}
+	k := 1
+	if cfg.Mech.WeakK > 0 {
+		k = cfg.Mech.WeakK
+	}
+	expiry := cfg.HelloExpiry
+	if cfg.Mech.WeakK > 0 {
+		// Weak consistency needs the k recent messages to stay usable for
+		// the whole window they may be consulted in (Theorem 3).
+		expiry = math.Max(expiry, float64(k+1)*cfg.HelloMax)
+	}
+	if cfg.Mech.Proactive {
+		// Pinned-epoch lookups need a couple of versions of history and a
+		// lifetime covering the pinned epoch plus the current one.
+		k = 3
+		expiry = math.Max(expiry, 3*cfg.HelloMax)
+	}
+	for i := 0; i < n; i++ {
+		sub := root.Sub('h', uint64(i))
+		nw.nodes[i] = &node{
+			id:        i,
+			interval:  sub.Uniform(cfg.HelloMin, cfg.HelloMax),
+			table:     hello.NewTable(k, expiry),
+			isLogical: make([]bool, n),
+		}
+	}
+	return nw, nil
+}
+
+// Engine exposes the event engine (for tests and custom instrumentation).
+func (nw *Network) Engine() *sim.Engine { return nw.eng }
+
+// Run executes the simulation for the given duration (seconds) and returns
+// the aggregated result.
+func (nw *Network) Run(duration float64) Result {
+	if nw.cfg.Mech.Reactive {
+		nw.scheduleReactiveRounds()
+	} else {
+		for _, nd := range nw.nodes {
+			nd := nd
+			// First Hello at a uniform offset within one interval keeps
+			// beacons asynchronous.
+			first := nw.rng.Sub('f', uint64(nd.id)).Uniform(0, nd.interval)
+			nw.eng.Every(first, nd.interval, func(now sim.Time) {
+				nw.sendHello(nd, now)
+			})
+		}
+	}
+	if nw.cfg.Churn.Enabled() {
+		for _, nd := range nw.nodes {
+			nd := nd
+			rng := nw.rng.Sub('c', uint64(nd.id))
+			var fail func(now sim.Time)
+			fail = func(now sim.Time) {
+				down := rng.ExpFloat64() * nw.cfg.Churn.MeanDown
+				nd.downUntil = now + down
+				// Losing state on failure: the node reboots with an
+				// empty neighbor table and no selection.
+				nd.table = hello.NewTable(nd.table.K(), nw.cfg.HelloExpiry)
+				nw.setSelection(nd, nil, 0)
+				nw.eng.Schedule(now+down+rng.ExpFloat64()*nw.cfg.Churn.MeanUp, fail)
+			}
+			nw.eng.Schedule(rng.ExpFloat64()*nw.cfg.Churn.MeanUp, fail)
+		}
+	}
+	if nw.cfg.FloodRate > 0 {
+		// Warm-up: let every node beacon at least twice before probing.
+		start := 2 * nw.cfg.HelloMax
+		nw.eng.Every(start, 1/nw.cfg.FloodRate, func(now sim.Time) {
+			if now+nw.cfg.FloodSettle <= duration {
+				nw.originateFlood(now)
+			}
+		})
+	}
+	sampleStart := 2 * nw.cfg.HelloMax
+	nw.eng.Every(sampleStart, 1/nw.cfg.SampleRate, func(now sim.Time) {
+		nw.sampleMetrics(now)
+	})
+	if nw.cfg.SnapshotEvery > 0 {
+		nw.eng.Every(sampleStart, nw.cfg.SnapshotEvery, func(now sim.Time) {
+			nw.snapshotSum += nw.EffectiveDigraphAt(now).AvgReachability()
+			nw.snapshotCount++
+		})
+	}
+	nw.eng.Run(duration)
+	return nw.result()
+}
+
+// epoch returns the proactive scheme's global epoch index at time t:
+// version numbers are derived from synchronized coarse timestamps, standing
+// in for the paper's loosely synchronized clocks (§4.1).
+func (nw *Network) epoch(t sim.Time) uint64 {
+	return uint64(t/nw.cfg.HelloMax) + 1
+}
+
+// sendHello advertises node nd's current position to everyone within the
+// normal range and refreshes nd's logical neighbor selection.
+func (nw *Network) sendHello(nd *node, now sim.Time) {
+	if nd.isDown(now) {
+		return
+	}
+	pos := nw.med.PositionAt(nd.id, now)
+	if nw.cfg.PosNoise > 0 {
+		// Imprecise positioning: the node advertises (and reasons from) a
+		// noisy estimate; the radio still transmits from the true spot.
+		noise := nw.rng.Sub('p', uint64(nd.id), uint64(now*1e6))
+		pos = geom.Pt(pos.X+nw.cfg.PosNoise*noise.NormFloat64(),
+			pos.Y+nw.cfg.PosNoise*noise.NormFloat64())
+	}
+	if nw.cfg.Mech.Proactive {
+		nd.version = nw.epoch(now)
+	} else {
+		nd.version++
+	}
+	msg := hello.Message{From: nd.id, Pos: pos, SentAt: now, Version: nd.version}
+	if nw.cfg.Mech.CDSForward {
+		nd.cdsMarked = nw.wuLiMarked(nd, now)
+		msg.Marked = nd.cdsMarked
+		for _, m := range nd.table.Latest(now) {
+			msg.Neighbors = append(msg.Neighbors, m.From)
+		}
+	}
+	nd.recordOwn(msg)
+	nd.advertisedPos = pos
+	nd.advertisedAt = now
+	nw.helloTx++
+	nw.helloEnergy++ // hellos always use the normal (full) power
+	tx, receivers := nw.med.Transmit(now, nd.id, nw.cfg.NormalRange, nw.recvBuf[:0])
+	nw.recvBuf = receivers
+	if dur := nw.med.TxDuration(); dur > 0 {
+		// Collision MAC: reception resolves after the airtime, when every
+		// interfering transmission is known.
+		ids := make([]int, len(receivers))
+		copy(ids, receivers)
+		nw.eng.ScheduleIn(dur, func(at sim.Time) {
+			for _, rid := range ids {
+				if !nw.nodes[rid].isDown(at) && !nw.med.Collides(tx, rid) {
+					nw.nodes[rid].table.Observe(msg)
+				}
+			}
+		})
+	} else {
+		for _, rid := range receivers {
+			if !nw.nodes[rid].isDown(now) {
+				nw.nodes[rid].table.Observe(msg)
+			}
+		}
+	}
+	nw.updateSelection(nd, now, pos)
+}
+
+// scheduleReactiveRounds implements the reactive strong-consistency scheme:
+// every node beacons at the start of each common interval with a shared
+// version; selection happens a fixed settle time later using only
+// same-version messages.
+func (nw *Network) scheduleReactiveRounds() {
+	interval := (nw.cfg.HelloMin + nw.cfg.HelloMax) / 2
+	const settle = 0.05 // bounded flooding/broadcast delay (§4.1)
+	round := uint64(0)
+	nw.eng.Every(0, interval, func(now sim.Time) {
+		round++
+		ver := round
+		for _, nd := range nw.nodes {
+			pos := nw.med.PositionAt(nd.id, now)
+			nd.version = ver
+			nd.advertisedPos = pos
+			nd.advertisedAt = now
+			msg := hello.Message{From: nd.id, Pos: pos, SentAt: now, Version: ver}
+			nw.helloTx++
+			nw.helloEnergy++
+			nw.recvBuf = nw.med.ReceiversAt(now, nd.id, nw.cfg.NormalRange, nw.recvBuf[:0])
+			for _, rid := range nw.recvBuf {
+				nw.nodes[rid].table.Observe(msg)
+			}
+		}
+		nw.eng.ScheduleIn(settle, func(sel sim.Time) {
+			for _, nd := range nw.nodes {
+				nw.selectFromVersion(nd, sel, ver)
+			}
+		})
+	})
+}
+
+// wuLiMarked computes nd's Wu-Li status from its 2-hop view — marked iff
+// two known neighbors are not directly connected per their advertised
+// neighbor lists — then applies Rule-1/2 pruning against the neighbors'
+// advertised marked flags (references [34]/[35]).
+func (nw *Network) wuLiMarked(nd *node, now sim.Time) bool {
+	latest := nd.table.Latest(now)
+	v := cds.View{Self: nd.id, NeighborsOf: make(map[int][]int, len(latest))}
+	markedFlag := make(map[int]bool, len(latest))
+	for _, m := range latest {
+		v.Neighbors = append(v.Neighbors, m.From)
+		v.NeighborsOf[m.From] = m.Neighbors
+		markedFlag[m.From] = m.Marked
+	}
+	if !cds.Marked(v) {
+		return false
+	}
+	isMarked := func(x int) bool { return markedFlag[x] }
+	if cds.Rule1(v, isMarked) || cds.Rule2(v, isMarked) {
+		return false
+	}
+	return true
+}
+
+// updateSelection recomputes nd's logical neighbors and transmission range
+// from its current table. Selection uses selfPos as nd's own position (the
+// view-synchronization mechanism passes the previously *advertised*
+// position here so nd's decisions agree with its neighbors' views), while
+// the transmission range is always computed from nd's current physical
+// position — the radio transmits from wherever the node actually is.
+func (nw *Network) updateSelection(nd *node, now sim.Time, selfPos geom.Point) {
+	if nw.cfg.Mech.WeakK > 0 {
+		nw.selectWeak(nd, now)
+		return
+	}
+	v := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: selfPos}}
+	for _, m := range nd.table.Latest(now) {
+		v.Neighbors = append(v.Neighbors, topology.NodeInfo{ID: m.From, Pos: m.Pos})
+	}
+	v = v.Canon()
+	sel := nw.cfg.Protocol.Select(v)
+	cur := nw.med.PositionAt(nd.id, now)
+	if cur != selfPos {
+		v.Self.Pos = cur
+	}
+	nw.applySelection(nd, v, sel)
+}
+
+// selectFromVersion is updateSelection restricted to messages of one
+// version (reactive scheme).
+func (nw *Network) selectFromVersion(nd *node, now sim.Time, ver uint64) {
+	v := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: nd.advertisedPos}}
+	for _, m := range nd.table.Versioned(ver, now) {
+		v.Neighbors = append(v.Neighbors, topology.NodeInfo{ID: m.From, Pos: m.Pos})
+	}
+	v = v.Canon()
+	sel := nw.cfg.Protocol.Select(v)
+	v.Self.Pos = nw.med.PositionAt(nd.id, now)
+	nw.applySelection(nd, v, sel)
+}
+
+// selectAsOf re-selects nd's logical neighbors from its local view pinned
+// to version v: each neighbor resolves to its newest advertisement with
+// version <= v, and nd's own position is its own advertisement as of v.
+// Every node relaying a packet pinned to v resolves shared neighbors to the
+// same messages, giving the consistent views of the proactive scheme.
+func (nw *Network) selectAsOf(nd *node, now sim.Time, v uint64) {
+	own := nd.ownAsOf(v)
+	view := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: own.Pos}}
+	for _, m := range nd.table.AsOf(v, now) {
+		view.Neighbors = append(view.Neighbors, topology.NodeInfo{ID: m.From, Pos: m.Pos})
+	}
+	view = view.Canon()
+	sel := nw.cfg.Protocol.Select(view)
+	view.Self.Pos = nw.med.PositionAt(nd.id, now)
+	nw.applySelection(nd, view, sel)
+}
+
+// selectWeak recomputes nd's selection under weak consistency: the view
+// carries up to WeakK recent positions per neighbor and nd's own recent
+// advertised positions (approximated by the advertised one — nodes do not
+// retain their own history beyond it — plus the current position, which is
+// what the next Hello will advertise).
+func (nw *Network) selectWeak(nd *node, now sim.Time) {
+	self := topology.MultiNodeInfo{
+		ID:        nd.id,
+		Positions: []geom.Point{nd.advertisedPos, nw.med.PositionAt(nd.id, now)},
+	}
+	mv := topology.MultiView{Self: self}
+	for _, m := range nd.table.Latest(now) {
+		hist := nd.table.History(m.From, now)
+		mn := topology.MultiNodeInfo{ID: m.From, Positions: make([]geom.Point, 0, len(hist))}
+		for _, h := range hist {
+			mn.Positions = append(mn.Positions, h.Pos)
+		}
+		mv.Neighbors = append(mv.Neighbors, mn)
+	}
+	sel := nw.cfg.Weak.SelectWeak(mv)
+	// Range must cover the farthest stored position of every selected
+	// neighbor (conservative).
+	r := 0.0
+	for _, id := range sel {
+		for _, nb := range mv.Neighbors {
+			if nb.ID == id {
+				_, dMax := topology.CostRange([]geom.Point{self.Positions[1]}, nb.Positions, topology.DistanceCost)
+				if dMax > r {
+					r = dMax
+				}
+			}
+		}
+	}
+	nw.setSelection(nd, sel, r)
+}
+
+func (nw *Network) applySelection(nd *node, v topology.View, sel []int) {
+	nw.setSelection(nd, sel, topology.ActualRange(v, sel))
+}
+
+func (nw *Network) setSelection(nd *node, sel []int, actual float64) {
+	for _, id := range nd.logical {
+		nd.isLogical[id] = false
+	}
+	nd.logical = append(nd.logical[:0], sel...)
+	for _, id := range nd.logical {
+		nd.isLogical[id] = true
+	}
+	nd.actualRange = actual
+	nd.txRange = topology.ExtendedRange(actual, nw.cfg.Mech.Buffer, nw.cfg.NormalRange)
+}
+
+// sampleMetrics records the per-node transmission range and degrees.
+func (nw *Network) sampleMetrics(now sim.Time) {
+	for _, nd := range nw.nodes {
+		nw.rangeSum += nd.txRange
+		nw.rangeSamples++
+		nw.logDegSum += float64(len(nd.logical))
+		nw.recvBuf = nw.med.ReceiversAt(now, nd.id, nd.txRange, nw.recvBuf[:0])
+		nw.phyDegSum += float64(len(nw.recvBuf))
+		nw.degSamples++
+	}
+}
+
+// EffectiveDigraphAt builds the directed effective topology at time t:
+// arc u->v iff v is within u's current transmission range and v would
+// accept u's packet (logical membership or the physical-neighbor
+// mechanism).
+func (nw *Network) EffectiveDigraphAt(t float64) *graph.Directed {
+	d := graph.NewDirected(len(nw.nodes))
+	buf := make([]int, 0, 64)
+	for _, nd := range nw.nodes {
+		buf = nw.med.ReceiversAt(t, nd.id, nd.txRange, buf[:0])
+		for _, v := range buf {
+			if nw.cfg.Mech.PhysicalNeighbors || nd.isLogical[v] {
+				d.AddArc(nd.id, v)
+			}
+		}
+	}
+	return d
+}
+
+// LogicalNeighbors returns node id's current logical neighbor ids.
+func (nw *Network) LogicalNeighbors(id int) []int {
+	out := make([]int, len(nw.nodes[id].logical))
+	copy(out, nw.nodes[id].logical)
+	return out
+}
+
+// TxRange returns node id's current transmission range (with buffer).
+func (nw *Network) TxRange(id int) float64 { return nw.nodes[id].txRange }
+
+// ActualRange returns node id's current pre-buffer transmission range.
+func (nw *Network) ActualRange(id int) float64 { return nw.nodes[id].actualRange }
+
+// result assembles the Run output.
+func (nw *Network) result() Result {
+	res := Result{
+		Protocol: nw.cfg.ProtocolName(),
+		Floods:   nw.floods,
+	}
+	if nw.floods > 0 {
+		res.Connectivity = nw.deliverySum / float64(nw.floods)
+	}
+	if nw.rangeSamples > 0 {
+		res.AvgTxRange = nw.rangeSum / float64(nw.rangeSamples)
+	}
+	if nw.degSamples > 0 {
+		res.AvgLogicalDegree = nw.logDegSum / float64(nw.degSamples)
+		res.AvgPhysicalDegree = nw.phyDegSum / float64(nw.degSamples)
+	}
+	if nw.snapshotCount > 0 {
+		res.SnapshotConnectivity = nw.snapshotSum / float64(nw.snapshotCount)
+		res.Snapshots = nw.snapshotCount
+	}
+	res.HelloTx = nw.helloTx
+	res.DataTx = nw.dataTx
+	res.DataEnergy = nw.dataEnergy
+	res.HelloEnergy = nw.helloEnergy
+	return res
+}
+
+// Result aggregates one run.
+type Result struct {
+	// Protocol is the display name of the protocol under test.
+	Protocol string
+	// Connectivity is the mean flood delivery ratio (weak connectivity).
+	Connectivity float64
+	// Floods is the number of scored floods.
+	Floods int
+	// AvgTxRange is the time- and node-averaged transmission range (m),
+	// including the buffer zone.
+	AvgTxRange float64
+	// AvgLogicalDegree is the mean logical neighbor count.
+	AvgLogicalDegree float64
+	// AvgPhysicalDegree is the mean count of nodes inside the
+	// transmission range.
+	AvgPhysicalDegree float64
+	// SnapshotConnectivity is the mean strict (snapshot) directed
+	// reachability, if sampled.
+	SnapshotConnectivity float64
+	// Snapshots is the number of strict-connectivity samples.
+	Snapshots int
+	// HelloTx counts "Hello" transmissions (control overhead).
+	HelloTx int
+	// DataTx counts flood-packet transmissions (data overhead: one per
+	// node that originated or forwarded a probe).
+	DataTx int
+	// DataEnergy is the normalized transmission energy spent on data
+	// packets: each transmission with range r costs
+	// (r/NormalRange)^EnergyAlpha, so an uncontrolled network spends
+	// exactly 1.0 per transmission.
+	DataEnergy float64
+	// HelloEnergy is the energy spent on beaconing (always full power:
+	// one unit per "Hello").
+	HelloEnergy float64
+}

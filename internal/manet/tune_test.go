@@ -1,0 +1,36 @@
+package manet
+
+import (
+	"fmt"
+	"testing"
+
+	"mstc/internal/topology"
+)
+
+// TestTuneExpiry is an exploratory harness (run with -run TestTuneExpiry -v)
+// comparing neighbor-entry expiry settings; kept as documentation of the
+// calibration that fixed the default.
+func TestTuneExpiry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning run")
+	}
+	for _, expiry := range []float64{1.3, 1.75, 2.5} {
+		for _, cfg := range []struct {
+			name string
+			c    Config
+		}{
+			{"RNG+buf10+VS@40", Config{Protocol: topology.RNG{}, FloodRate: 10, Seed: 7,
+				HelloExpiry: expiry, Mech: Mechanisms{Buffer: 10, ViewSync: true}}},
+			{"SPT2+buf10@40", Config{Protocol: topology.SPT{Alpha: 2, Range: 250}, FloodRate: 10, Seed: 7,
+				HelloExpiry: expiry, Mech: Mechanisms{Buffer: 10}}},
+		} {
+			model := waypointModel(t, 40, 42)
+			nw, err := NewNetwork(model, cfg.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := nw.Run(30)
+			fmt.Printf("expiry=%.2f %-18s conn=%.3f range=%.1f\n", expiry, cfg.name, res.Connectivity, res.AvgTxRange)
+		}
+	}
+}

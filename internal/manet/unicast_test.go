@@ -1,0 +1,118 @@
+package manet
+
+import (
+	"testing"
+
+	"mstc/internal/topology"
+)
+
+func TestUnicastStaticDenseTopologyDelivers(t *testing.T) {
+	// Greedy routing needs a topology without local minima; the dense
+	// uncontrolled graph qualifies on most instances, and everything is
+	// static so no range failures can occur.
+	model := connectedStatic(t, 51, 80, 15)
+	nw, err := NewNetwork(model, Config{Protocol: topology.None{}, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.RunUnicast(15, UnicastConfig{Rate: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes < 100 {
+		t.Fatalf("only %d probes", res.Probes)
+	}
+	if res.RangeFailures != 0 {
+		t.Errorf("static run had %d range failures", res.RangeFailures)
+	}
+	if res.Delivered < 0.95 {
+		t.Errorf("dense static delivery = %.3f", res.Delivered)
+	}
+	if res.Delivered > 0 && res.AvgHops <= 0 {
+		t.Error("no hop accounting")
+	}
+}
+
+func TestUnicastGGBeatsMSTGreedy(t *testing.T) {
+	// GG has far fewer greedy local minima than the tree-like MST.
+	model := connectedStatic(t, 53, 100, 15)
+	run := func(p topology.Protocol) UnicastResult {
+		nw, err := NewNetwork(model, Config{Protocol: p, Seed: 22})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nw.RunUnicast(15, UnicastConfig{Rate: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	gg := run(topology.Gabriel{})
+	mst := run(topology.MST{Range: 250})
+	if gg.Delivered <= mst.Delivered {
+		t.Errorf("GG greedy delivery %.3f should beat MST %.3f", gg.Delivered, mst.Delivered)
+	}
+}
+
+func TestUnicastMobilityRangeFailures(t *testing.T) {
+	// Under mobility without a buffer, some failures must be range
+	// failures (outdated information), and a generous buffer plus view
+	// synchronization must improve delivery.
+	model := waypointModel(t, 40, 401)
+	raw, err := NewNetwork(model, Config{Protocol: topology.Gabriel{}, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawRes, err := raw.RunUnicast(20, UnicastConfig{Rate: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawRes.RangeFailures == 0 {
+		t.Error("no range failures at 40 m/s without buffer — implausible")
+	}
+	fixed, err := NewNetwork(model, Config{
+		Protocol: topology.Gabriel{}, Seed: 23,
+		Mech: Mechanisms{Buffer: 50, ViewSync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedRes, err := fixed.RunUnicast(20, UnicastConfig{Rate: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixedRes.Delivered <= rawRes.Delivered {
+		t.Errorf("mobility management did not improve unicast: %.3f vs %.3f",
+			rawRes.Delivered, fixedRes.Delivered)
+	}
+}
+
+func TestUnicastValidation(t *testing.T) {
+	model := connectedStatic(t, 55, 10, 5)
+	nw, err := NewNetwork(model, Config{Protocol: topology.RNG{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RunUnicast(5, UnicastConfig{Rate: 0}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := nw.RunUnicast(5, UnicastConfig{Rate: 1, MaxHops: -1}); err == nil {
+		t.Error("negative MaxHops accepted")
+	}
+}
+
+func TestUnicastAccountsEnergy(t *testing.T) {
+	model := connectedStatic(t, 57, 50, 10)
+	nw, err := NewNetwork(model, Config{Protocol: topology.Gabriel{}, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RunUnicast(10, UnicastConfig{Rate: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Unicast hops are data transmissions too.
+	res := nw.result()
+	if res.DataTx == 0 || res.DataEnergy <= 0 {
+		t.Errorf("unicast hops not accounted: tx=%d energy=%v", res.DataTx, res.DataEnergy)
+	}
+}

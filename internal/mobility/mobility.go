@@ -1,0 +1,363 @@
+// Package mobility implements the node-mobility models used by the
+// simulator, chief among them the random waypoint model the paper evaluates
+// with (Camp, Boleng & Davies 2002; zero pause time in the paper's setup).
+//
+// A Model answers "where is node i at time t" analytically: trajectories are
+// precomputed as piecewise-linear legs for a fixed time horizon, so the
+// discrete-event simulator needs no periodic position-update events and can
+// evaluate positions at arbitrary instants (Hello transmissions, packet
+// receptions, metric samples). Precomputation also makes every model
+// immutable after construction and therefore safe for concurrent readers.
+package mobility
+
+import (
+	"fmt"
+	"sort"
+
+	"mstc/internal/geom"
+	"mstc/internal/xrand"
+)
+
+// Model reports node positions over time. Implementations are immutable and
+// safe for concurrent use.
+type Model interface {
+	// N returns the number of nodes.
+	N() int
+	// Arena returns the region nodes move in.
+	Arena() geom.Rect
+	// PositionAt returns the position of node id at time t (seconds).
+	// t is clamped to [0, Horizon].
+	PositionAt(id int, t float64) geom.Point
+	// MaxSpeed returns an upper bound on any node's instantaneous speed,
+	// used to size buffer zones (Theorem 5 uses the maximal speed).
+	MaxSpeed() float64
+	// Horizon returns the duration (seconds) trajectories were generated
+	// for.
+	Horizon() float64
+}
+
+// leg is one linear segment of a trajectory: the node moves from From
+// (at time T0) to To (at time T1) at constant speed, then the next leg
+// begins. A pause is a leg with From == To.
+type leg struct {
+	t0, t1   float64
+	from, to geom.Point
+}
+
+func (l leg) at(t float64) geom.Point {
+	if l.t1 <= l.t0 {
+		return l.from
+	}
+	f := (t - l.t0) / (l.t1 - l.t0)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return l.from.Lerp(l.to, f)
+}
+
+// track is a full per-node trajectory.
+type track struct {
+	legs []leg
+}
+
+func (tr *track) at(t float64) geom.Point {
+	legs := tr.legs
+	if len(legs) == 0 {
+		return geom.Point{}
+	}
+	if t <= legs[0].t0 {
+		return legs[0].from
+	}
+	last := legs[len(legs)-1]
+	if t >= last.t1 {
+		return last.to
+	}
+	// Binary search for the leg containing t.
+	i := sort.Search(len(legs), func(i int) bool { return legs[i].t1 >= t })
+	return legs[i].at(t)
+}
+
+// base carries the fields shared by all concrete models.
+type base struct {
+	arena    geom.Rect
+	tracks   []track
+	maxSpeed float64
+	horizon  float64
+}
+
+func (b *base) N() int            { return len(b.tracks) }
+func (b *base) Arena() geom.Rect  { return b.arena }
+func (b *base) MaxSpeed() float64 { return b.maxSpeed }
+func (b *base) Horizon() float64  { return b.horizon }
+
+func (b *base) PositionAt(id int, t float64) geom.Point {
+	// Trajectory generation may overshoot the horizon by part of a leg;
+	// clamp so queries beyond the horizon freeze at the horizon position.
+	if t < 0 {
+		t = 0
+	} else if t > b.horizon {
+		t = b.horizon
+	}
+	return b.tracks[id].at(t)
+}
+
+// UniformPoints returns n points placed independently and uniformly in the
+// arena.
+func UniformPoints(arena geom.Rect, n int, rng *xrand.Source) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(
+			rng.Uniform(arena.Min.X, arena.Max.X),
+			rng.Uniform(arena.Min.Y, arena.Max.Y),
+		)
+	}
+	return pts
+}
+
+// Static is a degenerate Model in which nodes never move. It is the
+// reference substrate for validating the static-network guarantees
+// (Theorem 1 with trivially consistent views).
+type Static struct{ base }
+
+// NewStatic builds a Static model from explicit positions.
+func NewStatic(arena geom.Rect, positions []geom.Point, horizon float64) *Static {
+	s := &Static{base{arena: arena, maxSpeed: 0, horizon: horizon}}
+	s.tracks = make([]track, len(positions))
+	for i, p := range positions {
+		s.tracks[i] = track{legs: []leg{{t0: 0, t1: horizon, from: p, to: p}}}
+	}
+	return s
+}
+
+// NewStaticUniform builds a Static model with n uniformly placed nodes.
+func NewStaticUniform(arena geom.Rect, n int, horizon float64, rng *xrand.Source) *Static {
+	return NewStatic(arena, UniformPoints(arena, n, rng.Sub('s')), horizon)
+}
+
+// WaypointConfig parameterizes the random waypoint model.
+type WaypointConfig struct {
+	N        int     // number of nodes
+	SpeedMin float64 // m/s, per-leg speed is uniform in [SpeedMin, SpeedMax]
+	SpeedMax float64 // m/s
+	Pause    float64 // seconds paused at each waypoint (0 in the paper)
+	Horizon  float64 // trajectory duration, seconds
+}
+
+// Validate reports whether the configuration is usable.
+func (c WaypointConfig) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("mobility: N must be positive, got %d", c.N)
+	case c.SpeedMin < 0 || c.SpeedMax < c.SpeedMin:
+		return fmt.Errorf("mobility: need 0 <= SpeedMin <= SpeedMax, got [%g, %g]", c.SpeedMin, c.SpeedMax)
+	case c.Pause < 0:
+		return fmt.Errorf("mobility: Pause must be non-negative, got %g", c.Pause)
+	case c.Horizon <= 0:
+		return fmt.Errorf("mobility: Horizon must be positive, got %g", c.Horizon)
+	}
+	return nil
+}
+
+// SpeedAround returns the [min, max] speed interval centered on the given
+// average speed: uniform in [avg/2, 3·avg/2], whose mean is avg and which
+// avoids the near-zero speeds that make plain uniform-(0, 2·avg] waypoint
+// runs degenerate (the well-known speed-decay pathology of the RWP model).
+func SpeedAround(avg float64) (min, max float64) {
+	return avg / 2, 3 * avg / 2
+}
+
+// SpeedSetdest returns the speed interval of the CMU/ns-2 "setdest"
+// convention the paper's evaluation uses: uniform in (0, 2·avg], so the
+// per-leg mean is avg and the maximal speed is twice the average (§5.2:
+// "the relative speed between two neighbors is two times the maximal
+// moving speed and four times the average moving speed"). Note the RWP
+// time-weighting pathology: time-averaged speed is below avg because slow
+// legs last longer. This is the faithful-reproduction setting.
+func SpeedSetdest(avg float64) (min, max float64) {
+	return 0, 2 * avg
+}
+
+// RandomWaypoint is the classic model: each node repeatedly picks a uniform
+// destination in the arena and a uniform speed, travels there in a straight
+// line, pauses, and repeats.
+type RandomWaypoint struct {
+	base
+	cfg WaypointConfig
+}
+
+// NewRandomWaypoint generates trajectories for the whole horizon. Node i's
+// trajectory depends only on (rng substream, i), so adding nodes does not
+// perturb existing ones.
+func NewRandomWaypoint(arena geom.Rect, cfg WaypointConfig, rng *xrand.Source) (*RandomWaypoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if arena.Empty() {
+		return nil, fmt.Errorf("mobility: empty arena")
+	}
+	m := &RandomWaypoint{
+		base: base{arena: arena, maxSpeed: cfg.SpeedMax, horizon: cfg.Horizon},
+		cfg:  cfg,
+	}
+	m.tracks = make([]track, cfg.N)
+	for i := range m.tracks {
+		m.tracks[i] = waypointTrack(arena, cfg, rng.Sub('w', uint64(i)))
+	}
+	return m, nil
+}
+
+func waypointTrack(arena geom.Rect, cfg WaypointConfig, rng *xrand.Source) track {
+	pos := geom.Pt(
+		rng.Uniform(arena.Min.X, arena.Max.X),
+		rng.Uniform(arena.Min.Y, arena.Max.Y),
+	)
+	var legs []leg
+	t := 0.0
+	for t < cfg.Horizon {
+		dst := geom.Pt(
+			rng.Uniform(arena.Min.X, arena.Max.X),
+			rng.Uniform(arena.Min.Y, arena.Max.Y),
+		)
+		speed := rng.Uniform(cfg.SpeedMin, cfg.SpeedMax)
+		if speed <= 0 {
+			// A zero-speed leg would never end; treat it as a pause of one
+			// second so the trajectory still covers the horizon.
+			legs = append(legs, leg{t0: t, t1: t + 1, from: pos, to: pos})
+			t++
+			continue
+		}
+		dur := pos.Dist(dst) / speed
+		legs = append(legs, leg{t0: t, t1: t + dur, from: pos, to: dst})
+		t += dur
+		pos = dst
+		if cfg.Pause > 0 && t < cfg.Horizon {
+			legs = append(legs, leg{t0: t, t1: t + cfg.Pause, from: pos, to: pos})
+			t += cfg.Pause
+		}
+	}
+	return track{legs: legs}
+}
+
+// WalkConfig parameterizes the random walk (a.k.a. random direction with
+// reflection) model: each node travels in a uniformly random direction for
+// a fixed epoch, reflecting off arena walls.
+type WalkConfig struct {
+	N        int
+	SpeedMin float64
+	SpeedMax float64
+	Epoch    float64 // seconds per direction change
+	Horizon  float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c WalkConfig) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("mobility: N must be positive, got %d", c.N)
+	case c.SpeedMin < 0 || c.SpeedMax < c.SpeedMin:
+		return fmt.Errorf("mobility: need 0 <= SpeedMin <= SpeedMax, got [%g, %g]", c.SpeedMin, c.SpeedMax)
+	case c.Epoch <= 0:
+		return fmt.Errorf("mobility: Epoch must be positive, got %g", c.Epoch)
+	case c.Horizon <= 0:
+		return fmt.Errorf("mobility: Horizon must be positive, got %g", c.Horizon)
+	}
+	return nil
+}
+
+// RandomWalk implements the bounded random walk model.
+type RandomWalk struct {
+	base
+	cfg WalkConfig
+}
+
+// NewRandomWalk generates reflecting random-walk trajectories.
+func NewRandomWalk(arena geom.Rect, cfg WalkConfig, rng *xrand.Source) (*RandomWalk, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if arena.Empty() {
+		return nil, fmt.Errorf("mobility: empty arena")
+	}
+	m := &RandomWalk{
+		base: base{arena: arena, maxSpeed: cfg.SpeedMax, horizon: cfg.Horizon},
+		cfg:  cfg,
+	}
+	m.tracks = make([]track, cfg.N)
+	for i := range m.tracks {
+		m.tracks[i] = walkTrack(arena, cfg, rng.Sub('k', uint64(i)))
+	}
+	return m, nil
+}
+
+func walkTrack(arena geom.Rect, cfg WalkConfig, rng *xrand.Source) track {
+	pos := geom.Pt(
+		rng.Uniform(arena.Min.X, arena.Max.X),
+		rng.Uniform(arena.Min.Y, arena.Max.Y),
+	)
+	var legs []leg
+	t := 0.0
+	for t < cfg.Horizon {
+		speed := rng.Uniform(cfg.SpeedMin, cfg.SpeedMax)
+		dir := rng.Uniform(0, 2*3.141592653589793)
+		v := geom.Polar(speed, dir)
+		remaining := cfg.Epoch
+		// Advance in sub-legs, reflecting at walls, until the epoch ends.
+		for remaining > 1e-12 {
+			hit, frac := reflectTime(arena, pos, v, remaining)
+			dur := remaining * frac
+			next := pos.Add(v.Scale(dur))
+			next = arena.Clamp(next) // guard rounding at the wall
+			legs = append(legs, leg{t0: t, t1: t + dur, from: pos, to: next})
+			t += dur
+			remaining -= dur
+			pos = next
+			if hit == 0 {
+				break
+			}
+			if hit&1 != 0 {
+				v.DX = -v.DX
+			}
+			if hit&2 != 0 {
+				v.DY = -v.DY
+			}
+		}
+	}
+	return track{legs: legs}
+}
+
+// reflectTime computes how far along (fraction of dur) a node moving from p
+// with velocity v can travel before hitting a wall. hit is a bitmask:
+// bit 0 = vertical wall (reflect X), bit 1 = horizontal wall (reflect Y),
+// 0 = no wall hit within dur.
+func reflectTime(arena geom.Rect, p geom.Point, v geom.Vector, dur float64) (hit int, frac float64) {
+	frac = 1.0
+	if v.DX > 0 {
+		if f := (arena.Max.X - p.X) / (v.DX * dur); f < frac {
+			frac, hit = f, 1
+		}
+	} else if v.DX < 0 {
+		if f := (arena.Min.X - p.X) / (v.DX * dur); f < frac {
+			frac, hit = f, 1
+		}
+	}
+	if v.DY > 0 {
+		if f := (arena.Max.Y - p.Y) / (v.DY * dur); f < frac {
+			frac, hit = f, 2
+		} else if f == frac && hit == 1 {
+			hit = 3 // corner
+		}
+	} else if v.DY < 0 {
+		if f := (arena.Min.Y - p.Y) / (v.DY * dur); f < frac {
+			frac, hit = f, 2
+		} else if f == frac && hit == 1 {
+			hit = 3
+		}
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return hit, frac
+}

@@ -1,0 +1,106 @@
+package radio
+
+// Collision modelling — the "realistic power control MAC layer" the paper
+// defers to future work (§6). When Config.TxDuration is positive, every
+// transmission occupies the channel for that long; a reception fails when
+//
+//   - the receiver is itself transmitting during the packet's airtime
+//     (half-duplex), or
+//   - the receiver is inside the range of any other transmission whose
+//     airtime overlaps (co-channel interference; no capture effect).
+//
+// The medium logs recent transmissions with their receiver footprints, and
+// callers resolve reception at delivery time (t + TxDuration) via Collides.
+
+// Tx is a handle to a logged transmission.
+type Tx struct {
+	seq    uint64
+	sender int
+	at     float64
+}
+
+// txRecord is a logged transmission with its interference footprint.
+type txRecord struct {
+	Tx
+	covered []int // nodes within range at transmission time, sorted
+}
+
+// TxDuration returns the configured airtime (0 = collision-free medium).
+func (m *Medium) TxDuration() float64 { return m.cfg.TxDuration }
+
+// Transmit logs a transmission by sender at time t with the given range and
+// returns its handle plus the candidate receivers (nodes within range,
+// before interference). With TxDuration == 0 no log is kept and the call is
+// equivalent to ReceiversAt.
+func (m *Medium) Transmit(t float64, sender int, r float64, dst []int) (Tx, []int) {
+	dst = m.ReceiversAt(t, sender, r, dst)
+	tx := Tx{sender: sender, at: t}
+	if m.cfg.TxDuration > 0 {
+		m.txSeq++
+		tx.seq = m.txSeq
+		covered := make([]int, len(dst))
+		copy(covered, dst)
+		m.txLog = append(m.txLog, txRecord{Tx: tx, covered: covered})
+		m.pruneTxLog(t)
+	}
+	return tx, dst
+}
+
+// Collides reports whether receiver's copy of tx is destroyed by
+// interference or half-duplex conflict. Call it at delivery time
+// (tx.at + TxDuration); transmissions logged after that instant do not
+// retroactively interfere.
+func (m *Medium) Collides(tx Tx, receiver int) bool {
+	if m.cfg.TxDuration == 0 {
+		return false
+	}
+	for i := range m.txLog {
+		o := &m.txLog[i]
+		if o.seq == tx.seq {
+			continue
+		}
+		if o.at >= tx.at+m.cfg.TxDuration || o.at+m.cfg.TxDuration <= tx.at {
+			continue // no airtime overlap
+		}
+		if o.sender == receiver {
+			return true // half-duplex: receiver was transmitting
+		}
+		if containsInt(o.covered, receiver) {
+			return true // jammed by a concurrent transmission
+		}
+	}
+	return false
+}
+
+// pruneTxLog drops records that can no longer overlap anything at or after
+// time t.
+func (m *Medium) pruneTxLog(t float64) {
+	keep := m.txLog[:0]
+	for _, rec := range m.txLog {
+		if rec.at+2*m.cfg.TxDuration > t {
+			keep = append(keep, rec)
+		}
+	}
+	// Zero the tail so retained backing-array references are released.
+	for i := len(keep); i < len(m.txLog); i++ {
+		m.txLog[i] = txRecord{}
+	}
+	m.txLog = keep
+}
+
+// containsInt reports membership in a sorted int slice.
+func containsInt(s []int, x int) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case s[mid] < x:
+			lo = mid + 1
+		case s[mid] > x:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}

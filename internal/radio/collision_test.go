@@ -1,0 +1,122 @@
+package radio
+
+import (
+	"reflect"
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/mobility"
+	"mstc/internal/xrand"
+)
+
+func collisionMedium(t *testing.T, pts []geom.Point, dur float64) *Medium {
+	t.Helper()
+	m, err := NewMedium(mobility.NewStatic(arena, pts, 100), Config{TxDuration: dur}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTransmitWithoutCollisionModel(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}
+	m := collisionMedium(t, pts, 0)
+	tx, rcv := m.Transmit(1, 0, 50, nil)
+	if !reflect.DeepEqual(rcv, []int{1}) {
+		t.Fatalf("receivers = %v", rcv)
+	}
+	if m.Collides(tx, 1) {
+		t.Error("collision-free medium reported a collision")
+	}
+	if m.TxDuration() != 0 {
+		t.Error("TxDuration != 0")
+	}
+}
+
+func TestOverlappingTransmissionsJam(t *testing.T) {
+	// 0 and 2 both within range of 1; they transmit overlapping in time:
+	// 1 receives neither.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(40, 0), geom.Pt(80, 0)}
+	m := collisionMedium(t, pts, 0.01)
+	txA, rcvA := m.Transmit(1.000, 0, 50, nil)
+	txB, rcvB := m.Transmit(1.005, 2, 50, nil)
+	if !reflect.DeepEqual(rcvA, []int{1}) || !reflect.DeepEqual(rcvB, []int{1}) {
+		t.Fatalf("receivers: %v, %v", rcvA, rcvB)
+	}
+	if !m.Collides(txA, 1) {
+		t.Error("first transmission should be jammed by the second")
+	}
+	if !m.Collides(txB, 1) {
+		t.Error("second transmission should be jammed by the first")
+	}
+}
+
+func TestNonOverlappingTransmissionsDoNotJam(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(40, 0), geom.Pt(80, 0)}
+	m := collisionMedium(t, pts, 0.01)
+	txA, _ := m.Transmit(1.000, 0, 50, nil)
+	txB, _ := m.Transmit(1.020, 2, 50, nil) // starts after A ends
+	if m.Collides(txA, 1) || m.Collides(txB, 1) {
+		t.Error("disjoint airtimes must not collide")
+	}
+}
+
+func TestHiddenTerminalDoesNotJamOutOfRange(t *testing.T) {
+	// Node 3 is far away: concurrent transmission by 0 cannot jam it.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(40, 0), geom.Pt(800, 0), geom.Pt(840, 0)}
+	m := collisionMedium(t, pts, 0.01)
+	m.Transmit(1.000, 0, 50, nil)
+	txB, rcvB := m.Transmit(1.005, 2, 50, nil)
+	if !reflect.DeepEqual(rcvB, []int{3}) {
+		t.Fatalf("receivers = %v", rcvB)
+	}
+	if m.Collides(txB, 3) {
+		t.Error("out-of-range transmission jammed a distant receiver")
+	}
+}
+
+func TestHalfDuplex(t *testing.T) {
+	// 1 transmits while 0's packet is in the air: 1 cannot receive it.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(40, 0), geom.Pt(800, 800)}
+	m := collisionMedium(t, pts, 0.01)
+	txA, _ := m.Transmit(1.000, 0, 50, nil)
+	m.Transmit(1.005, 1, 50, nil) // 1's own transmission (reaches nobody)
+	if !m.Collides(txA, 1) {
+		t.Error("transmitting node must not receive concurrently (half-duplex)")
+	}
+}
+
+func TestTxLogPruning(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(40, 0)}
+	m := collisionMedium(t, pts, 0.01)
+	for i := 0; i < 1000; i++ {
+		m.Transmit(float64(i), 0, 50, nil)
+	}
+	if len(m.txLog) > 4 {
+		t.Errorf("txLog grew to %d entries despite pruning", len(m.txLog))
+	}
+}
+
+func TestNegativeTxDurationRejected(t *testing.T) {
+	model := mobility.NewStatic(arena, []geom.Point{geom.Pt(1, 1)}, 10)
+	if _, err := NewMedium(model, Config{TxDuration: -1}, xrand.New(1)); err == nil {
+		t.Error("negative TxDuration accepted")
+	}
+}
+
+func TestContainsInt(t *testing.T) {
+	s := []int{1, 3, 5, 9}
+	for _, x := range s {
+		if !containsInt(s, x) {
+			t.Errorf("containsInt missed %d", x)
+		}
+	}
+	for _, x := range []int{0, 2, 4, 10} {
+		if containsInt(s, x) {
+			t.Errorf("containsInt false positive %d", x)
+		}
+	}
+	if containsInt(nil, 1) {
+		t.Error("empty slice contains")
+	}
+}

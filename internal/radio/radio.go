@@ -1,0 +1,138 @@
+// Package radio models the wireless medium as an ideal disc: a transmission
+// by node u at time t with transmission range r is received by exactly the
+// nodes within distance r of u at time t — no collision and no contention,
+// matching the paper's simulation setup ("all simulations use an ideal MAC
+// layer without collision and contention", §5.1).
+//
+// Two knobs extend the ideal model for robustness experiments: a constant
+// per-hop delay (propagation plus processing) and an i.i.d. reception loss
+// probability used by failure-injection tests. Both default to zero.
+package radio
+
+import (
+	"fmt"
+
+	"mstc/internal/geom"
+	"mstc/internal/mobility"
+	"mstc/internal/spatial"
+	"mstc/internal/xrand"
+)
+
+// Config parameterizes a Medium.
+type Config struct {
+	// Cell is the spatial-index cell size in meters (default 125, half
+	// the normal transmission range).
+	Cell float64
+	// Delay is the constant per-hop delivery delay in seconds
+	// (default 0: delivery at the instant of transmission).
+	Delay float64
+	// LossRate is the probability that an individual reception fails,
+	// drawn independently per (transmission, receiver). Default 0.
+	LossRate float64
+	// TxDuration is the per-packet airtime in seconds. 0 (the default)
+	// gives the paper's collision-free ideal MAC; positive values enable
+	// the collision model in collision.go.
+	TxDuration float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Cell == 0 {
+		c.Cell = 125
+	}
+}
+
+// Medium is the shared wireless channel. It caches node positions per
+// distinct query instant, so the many receiver queries a flood issues at
+// (nearly) the same time cost one position sweep plus grid lookups.
+// A Medium is single-goroutine, like the Engine that drives it.
+type Medium struct {
+	model mobility.Model
+	cfg   Config
+	rng   *xrand.Source
+	grid  *spatial.Index
+	pos   []geom.Point
+	at    float64
+	fresh bool
+
+	// collision-model state (see collision.go)
+	txSeq uint64
+	txLog []txRecord
+}
+
+// NewMedium builds a medium over the mobility model. rng feeds the loss
+// process only; pass any substream (it is unused when LossRate is 0).
+func NewMedium(model mobility.Model, cfg Config, rng *xrand.Source) (*Medium, error) {
+	cfg.setDefaults()
+	if cfg.Delay < 0 {
+		return nil, fmt.Errorf("radio: negative delay %g", cfg.Delay)
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		return nil, fmt.Errorf("radio: loss rate %g outside [0, 1)", cfg.LossRate)
+	}
+	if cfg.TxDuration < 0 {
+		return nil, fmt.Errorf("radio: negative TxDuration %g", cfg.TxDuration)
+	}
+	grid, err := spatial.NewIndex(model.Arena(), cfg.Cell)
+	if err != nil {
+		return nil, err
+	}
+	return &Medium{
+		model: model,
+		cfg:   cfg,
+		rng:   rng,
+		grid:  grid,
+		pos:   make([]geom.Point, model.N()),
+	}, nil
+}
+
+// Delay returns the configured per-hop delivery delay.
+func (m *Medium) Delay() float64 { return m.cfg.Delay }
+
+// N returns the node count.
+func (m *Medium) N() int { return m.model.N() }
+
+// PositionAt returns node id's position at time t (uncached single query).
+func (m *Medium) PositionAt(id int, t float64) geom.Point {
+	return m.model.PositionAt(id, t)
+}
+
+// PositionsAt returns all node positions at time t. The returned slice is
+// owned by the medium and valid until the next call.
+func (m *Medium) PositionsAt(t float64) []geom.Point {
+	m.refresh(t)
+	return m.pos
+}
+
+func (m *Medium) refresh(t float64) {
+	if m.fresh && m.at == t {
+		return
+	}
+	for id := range m.pos {
+		m.pos[id] = m.model.PositionAt(id, t)
+	}
+	m.grid.Build(m.pos)
+	m.at = t
+	m.fresh = true
+}
+
+// ReceiversAt appends to dst the nodes that receive a transmission sent by
+// sender at time t with range r: every node other than the sender within
+// distance r at t, minus any losses. Results ascend by id.
+func (m *Medium) ReceiversAt(t float64, sender int, r float64, dst []int) []int {
+	if r <= 0 {
+		return dst
+	}
+	m.refresh(t)
+	start := len(dst)
+	dst = m.grid.WithinOf(sender, r, dst)
+	if m.cfg.LossRate > 0 {
+		kept := dst[start:start]
+		for _, id := range dst[start:] {
+			if m.rng.Float64() >= m.cfg.LossRate {
+				kept = append(kept, id)
+			}
+		}
+		dst = dst[:start+len(kept)]
+	}
+	return dst
+}

@@ -1,0 +1,150 @@
+package radio
+
+import (
+	"reflect"
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/mobility"
+	"mstc/internal/xrand"
+)
+
+var arena = geom.Square(900)
+
+func staticMedium(t *testing.T, pts []geom.Point, cfg Config) *Medium {
+	t.Helper()
+	m, err := NewMedium(mobility.NewStatic(arena, pts, 100), cfg, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReceiversWithinRange(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(100, 100), geom.Pt(150, 100), geom.Pt(400, 100), geom.Pt(100, 140),
+	}
+	m := staticMedium(t, pts, Config{})
+	got := m.ReceiversAt(0, 0, 60, nil)
+	if !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("Receivers = %v, want [1 3]", got)
+	}
+	// Exactly-on-boundary is received.
+	got = m.ReceiversAt(0, 0, 50, nil)
+	if !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("boundary Receivers = %v, want [1 3]", got)
+	}
+	// Zero or negative range: nobody.
+	if got := m.ReceiversAt(0, 0, 0, nil); len(got) != 0 {
+		t.Errorf("zero range receivers = %v", got)
+	}
+}
+
+func TestReceiversExcludeSender(t *testing.T) {
+	pts := []geom.Point{geom.Pt(1, 1), geom.Pt(2, 1)}
+	m := staticMedium(t, pts, Config{})
+	got := m.ReceiversAt(0, 1, 500, nil)
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("Receivers = %v, want [0]", got)
+	}
+}
+
+func TestReceiversTrackMobility(t *testing.T) {
+	// Node 1 moves away from node 0 over time.
+	lo, hi := mobility.SpeedAround(20)
+	model, err := mobility.NewRandomWaypoint(arena, mobility.WaypointConfig{
+		N: 30, SpeedMin: lo, SpeedMax: hi, Horizon: 100,
+	}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMedium(model, Config{}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0, 17.3, 50, 99} {
+		got := m.ReceiversAt(tt, 0, 250, nil)
+		// Differential check against direct distance computation.
+		var want []int
+		p0 := model.PositionAt(0, tt)
+		for id := 1; id < model.N(); id++ {
+			if model.PositionAt(id, tt).Dist(p0) <= 250 {
+				want = append(want, id)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("t=%v: receivers %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestPositionsAtCaching(t *testing.T) {
+	pts := []geom.Point{geom.Pt(1, 1), geom.Pt(2, 2)}
+	m := staticMedium(t, pts, Config{})
+	a := m.PositionsAt(5)
+	b := m.PositionsAt(5)
+	if &a[0] != &b[0] {
+		t.Error("same-instant queries should reuse the cache")
+	}
+	if a[0] != geom.Pt(1, 1) || a[1] != geom.Pt(2, 2) {
+		t.Errorf("positions wrong: %v", a)
+	}
+	if m.PositionAt(1, 5) != geom.Pt(2, 2) {
+		t.Error("PositionAt wrong")
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	pts := make([]geom.Point, 101)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i%10), float64(i/10)) // all within range
+	}
+	m := staticMedium(t, pts, Config{LossRate: 0.3})
+	total := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		total += len(m.ReceiversAt(0, 0, 1000, nil))
+	}
+	mean := float64(total) / trials
+	if mean < 0.6*100 || mean > 0.8*100 {
+		t.Errorf("mean receivers %v with 30%% loss, want ~70", mean)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	model := mobility.NewStatic(arena, []geom.Point{geom.Pt(1, 1)}, 10)
+	if _, err := NewMedium(model, Config{Delay: -1}, xrand.New(1)); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := NewMedium(model, Config{LossRate: 1}, xrand.New(1)); err == nil {
+		t.Error("loss rate 1 accepted")
+	}
+	if _, err := NewMedium(model, Config{LossRate: -0.1}, xrand.New(1)); err == nil {
+		t.Error("negative loss accepted")
+	}
+	m, err := NewMedium(model, Config{Delay: 0.001}, xrand.New(1))
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if m.Delay() != 0.001 {
+		t.Errorf("Delay = %v", m.Delay())
+	}
+	if m.N() != 1 {
+		t.Errorf("N = %d", m.N())
+	}
+}
+
+func BenchmarkReceiversAt(b *testing.B) {
+	pts := mobility.UniformPoints(arena, 100, xrand.New(1))
+	model := mobility.NewStatic(arena, pts, 1e9)
+	m, err := NewMedium(model, Config{}, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]int, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Distinct times defeat the cache: worst case.
+		buf = m.ReceiversAt(float64(i), i%100, 250, buf[:0])
+	}
+}

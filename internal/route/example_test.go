@@ -1,0 +1,32 @@
+package route_test
+
+import (
+	"fmt"
+
+	"mstc/internal/geom"
+	"mstc/internal/route"
+)
+
+// Face recovery routes around a void that strands plain greedy forwarding.
+func ExampleRouter_GFG() {
+	// src sits in a cul-de-sac: its only neighbor is farther from dst,
+	// so greedy stalls immediately; the right-hand face walk escapes.
+	pts := []geom.Point{
+		geom.Pt(0, 0),     // 0: src at the bottom of a dead end
+		geom.Pt(-30, -10), // 1: only neighbor, farther from dst
+		geom.Pt(-30, 30),  // 2
+		geom.Pt(0, 30),    // 3: dst
+	}
+	r, err := route.New(pts, [][]int{{1}, {0, 2}, {1, 3}, {2}})
+	if err != nil {
+		panic(err)
+	}
+	if _, ok := r.Greedy(0, 3); !ok {
+		fmt.Println("greedy: stuck at a local minimum")
+	}
+	path, ok := r.GFG(0, 3)
+	fmt.Println("gfg delivered:", ok, "hops:", len(path)-1, "end:", path[len(path)-1])
+	// Output:
+	// greedy: stuck at a local minimum
+	// gfg delivered: true hops: 7 end: 3
+}

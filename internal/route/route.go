@@ -1,0 +1,269 @@
+// Package route implements geographic (position-based) unicast routing over
+// a controlled topology: greedy forwarding and greedy-face-greedy (GFG /
+// GPSR-style perimeter) recovery.
+//
+// This is the downstream consumer the paper's introduction motivates:
+// topology control exists so that routing can run over a sparse,
+// low-power logical topology. Greedy forwarding needs only the positions
+// already gossiped by "Hello" messages; face recovery additionally needs
+// the topology to be planar — which the Gabriel-graph and RNG protocols
+// guarantee — and then delivery on a static connected topology is
+// guaranteed (Bose, Morin, Stojmenović & Urrutia 1999; Karp & Kung 2000).
+package route
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mstc/internal/geom"
+)
+
+// Router answers unicast next-hop queries over one topology snapshot:
+// node positions plus a symmetric adjacency.
+type Router struct {
+	pts []geom.Point
+	// adj[v] is v's neighbor ids sorted counterclockwise by angle
+	// around v (ties by id).
+	adj [][]int
+}
+
+// New builds a Router. adjacency must be symmetric (v in adj[u] iff u in
+// adj[v]); ordering is normalized internally.
+func New(pts []geom.Point, adjacency [][]int) (*Router, error) {
+	if len(pts) != len(adjacency) {
+		return nil, fmt.Errorf("route: %d positions but %d adjacency rows", len(pts), len(adjacency))
+	}
+	r := &Router{pts: pts, adj: make([][]int, len(pts))}
+	for u, nbrs := range adjacency {
+		r.adj[u] = make([]int, len(nbrs))
+		copy(r.adj[u], nbrs)
+		for _, v := range nbrs {
+			if v < 0 || v >= len(pts) {
+				return nil, fmt.Errorf("route: node %d has out-of-range neighbor %d", u, v)
+			}
+			if v == u {
+				return nil, fmt.Errorf("route: node %d lists itself", u)
+			}
+			if !contains(adjacency[v], u) {
+				return nil, fmt.Errorf("route: asymmetric link (%d, %d)", u, v)
+			}
+		}
+		u := u
+		sort.Slice(r.adj[u], func(a, b int) bool {
+			pa := r.angleOf(u, r.adj[u][a])
+			pb := r.angleOf(u, r.adj[u][b])
+			if pa != pb {
+				return pa < pb
+			}
+			return r.adj[u][a] < r.adj[u][b]
+		})
+	}
+	return r, nil
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// angleOf returns the angle of neighbor v around u in [0, 2π).
+func (r *Router) angleOf(u, v int) float64 {
+	a := r.pts[v].Sub(r.pts[u]).Angle()
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// Greedy routes from src to dst by always forwarding to the neighbor
+// strictly closest to dst (closer than the current node). It returns the
+// node path (src first) and whether dst was reached; on failure the path
+// ends at the local minimum.
+func (r *Router) Greedy(src, dst int) (path []int, ok bool) {
+	cur := src
+	path = append(path, cur)
+	for cur != dst {
+		next, improved := r.greedyStep(cur, dst)
+		if !improved {
+			return path, false
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	return path, true
+}
+
+// greedyStep returns the neighbor of cur closest to dst, and whether it is
+// strictly closer to dst than cur itself.
+func (r *Router) greedyStep(cur, dst int) (int, bool) {
+	target := r.pts[dst]
+	best := -1
+	bestD := r.pts[cur].Dist2(target)
+	for _, v := range r.adj[cur] {
+		if d := r.pts[v].Dist2(target); d < bestD {
+			bestD = d
+			best = v
+		}
+	}
+	if best == -1 {
+		return cur, false
+	}
+	return best, true
+}
+
+// GFG routes from src to dst with greedy forwarding plus right-hand-rule
+// face recovery at local minima (greedy-face-greedy). On a connected planar
+// embedding (e.g. a Gabriel-graph topology) delivery is guaranteed.
+// It returns the traversed node path and whether dst was reached.
+func (r *Router) GFG(src, dst int) (path []int, ok bool) {
+	const modeGreedy, modePerimeter = 0, 1
+	cur := src
+	path = append(path, cur)
+	mode := modeGreedy
+
+	// Perimeter-mode state (GPSR naming): Lp is the position where the
+	// packet entered perimeter mode, cross the closest crossing of the
+	// current face with segment Lp→T found so far.
+	var lp geom.Point
+	var crossD float64
+	var from int // previous hop in the face walk
+
+	// Hop budget: a face walk visits each directed edge at most twice
+	// across face changes on a planar graph; 4·(E+n)+16 is a safe bound.
+	budget := 16 + 4*len(r.pts)
+	for _, nbrs := range r.adj {
+		budget += 4 * len(nbrs)
+	}
+
+	target := r.pts[dst]
+	for cur != dst {
+		if budget--; budget < 0 {
+			return path, false
+		}
+		if mode == modeGreedy {
+			next, improved := r.greedyStep(cur, dst)
+			if improved {
+				cur = next
+				path = append(path, cur)
+				continue
+			}
+			if len(r.adj[cur]) == 0 {
+				return path, false
+			}
+			// Enter perimeter mode on the face intersected by cur→T.
+			mode = modePerimeter
+			lp = r.pts[cur]
+			crossD = math.Inf(1)
+			from = r.firstFaceEdge(cur, target)
+			// Walk the first edge immediately.
+			cur, from = from, cur
+			path = append(path, cur)
+			continue
+		}
+		// Perimeter mode: recover to greedy as soon as we are closer to
+		// the target than the entry point.
+		if r.pts[cur].Dist2(target) < lp.Dist2(target) {
+			mode = modeGreedy
+			continue
+		}
+		next := r.rightHand(cur, from)
+		// Face changes: skip edges that cross Lp→T closer to T.
+		for i := 0; i <= len(r.adj[cur]); i++ {
+			x, crosses := geom.SegmentIntersection(r.pts[cur], r.pts[next], lp, target)
+			if !crosses {
+				break
+			}
+			d := x.Dist2(target)
+			if d >= crossD {
+				break
+			}
+			crossD = d
+			next = r.rightHand(cur, next)
+		}
+		if next == cur {
+			return path, false // isolated in the walk
+		}
+		cur, from = next, cur
+		path = append(path, cur)
+	}
+	return path, true
+}
+
+// firstFaceEdge picks the first edge of a face walk: the neighbor reached
+// by rotating counterclockwise from the ray cur→target — the edge bounding
+// the face that the segment cur→target enters (right-hand rule start).
+func (r *Router) firstFaceEdge(cur int, target geom.Point) int {
+	ref := target.Sub(r.pts[cur]).Angle()
+	if ref < 0 {
+		ref += 2 * math.Pi
+	}
+	best := -1
+	bestDelta := math.Inf(1)
+	for _, v := range r.adj[cur] {
+		a := r.angleOf(cur, v)
+		delta := a - ref
+		for delta <= 0 {
+			delta += 2 * math.Pi
+		}
+		if delta < bestDelta {
+			bestDelta = delta
+			best = v
+		}
+	}
+	return best
+}
+
+// rightHand returns the next neighbor of v counterclockwise after the
+// incoming direction from `from` — the right-hand-rule successor that keeps
+// the face on the right of the walk.
+func (r *Router) rightHand(v, from int) int {
+	if len(r.adj[v]) == 1 {
+		return r.adj[v][0] // dead end: bounce back
+	}
+	inAngle := r.pts[from].Sub(r.pts[v]).Angle()
+	if inAngle < 0 {
+		inAngle += 2 * math.Pi
+	}
+	best := -1
+	bestDelta := math.Inf(1)
+	for _, w := range r.adj[v] {
+		a := r.angleOf(v, w)
+		delta := a - inAngle
+		for delta <= 1e-15 {
+			delta += 2 * math.Pi
+		}
+		if delta < bestDelta {
+			bestDelta = delta
+			best = w
+		}
+	}
+	return best
+}
+
+// PathLength returns the Euclidean length of a node path.
+func (r *Router) PathLength(path []int) float64 {
+	total := 0.0
+	for i := 1; i < len(path); i++ {
+		total += r.pts[path[i-1]].Dist(r.pts[path[i]])
+	}
+	return total
+}
+
+// Stretch returns the ratio of the path's Euclidean length to the straight-
+// line distance between its endpoints (1 for direct paths; +Inf if the
+// endpoints coincide but the path is non-empty).
+func (r *Router) Stretch(path []int) float64 {
+	if len(path) < 2 {
+		return 1
+	}
+	direct := r.pts[path[0]].Dist(r.pts[path[len(path)-1]])
+	if direct == 0 {
+		return math.Inf(1)
+	}
+	return r.PathLength(path) / direct
+}

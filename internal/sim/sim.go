@@ -1,0 +1,135 @@
+// Package sim is a minimal discrete-event simulation engine: a virtual
+// clock and a pending-event queue with deterministic execution order.
+//
+// Events scheduled for the same instant run in FIFO order of scheduling
+// (a monotone sequence number breaks timestamp ties), so simulations are
+// bit-reproducible: the same seed and configuration always produce the same
+// event interleaving regardless of host or GOMAXPROCS. Each Engine is
+// single-threaded by design — cross-run parallelism lives one level up, in
+// package experiment, where independent repetitions fan out over a worker
+// pool with one Engine each.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulation time in seconds.
+type Time = float64
+
+// Event is a callback invoked at its scheduled instant.
+type Event func(now Time)
+
+type item struct {
+	at  Time
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use at time 0.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+}
+
+// NewEngine returns a fresh engine at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at the absolute instant at. Scheduling in the
+// past (before Now) panics: it always indicates a logic error in the model,
+// and silently reordering would corrupt causality.
+func (e *Engine) Schedule(at Time, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	if math.IsNaN(at) {
+		panic("sim: scheduling at NaN")
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	e.seq++
+	heap.Push(&e.queue, item{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleIn enqueues fn to run after delay d (>= 0) from Now.
+func (e *Engine) ScheduleIn(d Time, fn Event) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Every schedules fn at start and then every interval seconds forever
+// (until the run horizon cuts it off). fn runs before the next occurrence
+// is scheduled, so fn may Stop the engine to cancel the series.
+func (e *Engine) Every(start, interval Time, fn Event) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive interval %v", interval))
+	}
+	var tick Event
+	tick = func(now Time) {
+		fn(now)
+		if !e.stopped {
+			e.Schedule(now+interval, tick)
+		}
+	}
+	e.Schedule(start, tick)
+}
+
+// Step runs the next pending event, advancing the clock to it. It returns
+// false if the queue is empty or the engine is stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.queue).(item)
+	e.now = it.at
+	it.fn(it.at)
+	return true
+}
+
+// Run executes events in order until the queue is drained, the engine is
+// stopped, or the next event lies strictly beyond until; the clock finishes
+// at min(until, last event time) — it does not jump ahead to until.
+// It returns the number of events executed.
+func (e *Engine) Run(until Time) int {
+	n := 0
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= until {
+		it := heap.Pop(&e.queue).(item)
+		e.now = it.at
+		it.fn(it.at)
+		n++
+	}
+	return n
+}
+
+// Stop halts the engine: pending events are kept but no longer executed.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mstc/internal/xrand"
+)
+
+func TestRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, func(now Time) { got = append(got, now) })
+	}
+	if n := e.Run(10); n != 5 {
+		t.Fatalf("ran %d events", n)
+	}
+	want := []float64{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now = %v, want 5", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func(Time) { got = append(got, i) })
+	}
+	e.Run(1)
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("same-time events ran out of scheduling order: %v", got)
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(1, func(Time) { ran++ })
+	e.Schedule(2, func(Time) { ran++ })
+	e.Schedule(3, func(Time) { ran++ })
+	if n := e.Run(2); n != 2 {
+		t.Fatalf("Run(2) executed %d", n)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	if e.Now() != 2 {
+		t.Errorf("Now = %v, want 2 (clock must not jump to horizon)", e.Now())
+	}
+	// Boundary inclusive.
+	if n := e.Run(3); n != 1 {
+		t.Errorf("Run(3) executed %d, want 1", n)
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.Schedule(1, func(now Time) {
+		got = append(got, now)
+		e.ScheduleIn(0.5, func(now Time) { got = append(got, now) })
+	})
+	e.Run(10)
+	if !reflect.DeepEqual(got, []Time{1, 1.5}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestZeroDelayRunsAtSameInstantAfterCurrent(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.Schedule(1, func(Time) {
+		got = append(got, "a")
+		e.ScheduleIn(0, func(Time) { got = append(got, "c") })
+	})
+	e.Schedule(1, func(Time) { got = append(got, "b") })
+	e.Run(2)
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("got %v, want [a b c] (zero-delay event after already-queued peers)", got)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func(Time) {})
+	e.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling in the past")
+		}
+	}()
+	e.Schedule(1, func(Time) {})
+}
+
+func TestScheduleValidation(t *testing.T) {
+	for name, fn := range map[string]func(e *Engine){
+		"nil-event":      func(e *Engine) { e.Schedule(1, nil) },
+		"negative-delay": func(e *Engine) { e.ScheduleIn(-1, func(Time) {}) },
+		"nan":            func(e *Engine) { e.Schedule(nan(), func(Time) {}) },
+		"bad-interval":   func(e *Engine) { e.Every(0, 0, func(Time) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn(NewEngine())
+		}()
+	}
+}
+
+func nan() Time {
+	z := 0.0
+	return z / z
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.Every(0.5, 1, func(now Time) { got = append(got, now) })
+	e.Run(4)
+	want := []Time{0.5, 1.5, 2.5, 3.5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Every ticks = %v, want %v", got, want)
+	}
+}
+
+func TestStopHaltsEverything(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(1, 1, func(now Time) {
+		count++
+		if count == 3 {
+			e.Stop()
+		}
+	})
+	e.Schedule(100, func(Time) { count += 1000 })
+	e.Run(1e9)
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (Stop must halt periodic and pending events)", count)
+	}
+	if !e.Stopped() {
+		t.Error("Stopped() = false")
+	}
+	if e.Step() {
+		t.Error("Step after Stop returned true")
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	ran := false
+	e.Schedule(2, func(Time) { ran = true })
+	if !e.Step() || !ran || e.Now() != 2 {
+		t.Errorf("Step failed: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestDeterministicUnderRandomLoad(t *testing.T) {
+	// Two engines fed the same pseudo-random schedule must execute
+	// identically.
+	run := func(seed uint64) []Time {
+		rng := xrand.New(seed)
+		e := NewEngine()
+		var got []Time
+		var recurse func(depth int) Event
+		recurse = func(depth int) Event {
+			return func(now Time) {
+				got = append(got, now)
+				if depth < 3 {
+					e.ScheduleIn(rng.Uniform(0, 2), recurse(depth+1))
+				}
+			}
+		}
+		for i := 0; i < 50; i++ {
+			e.Schedule(rng.Uniform(0, 10), recurse(0))
+		}
+		e.Run(100)
+		return got
+	}
+	f := func(seed uint64) bool {
+		a, b := run(seed), run(seed)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine()
+	noop := func(Time) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+float64(i%100)/100, noop)
+		if i%64 == 63 {
+			e.Run(e.Now() + 0.5)
+		}
+	}
+}

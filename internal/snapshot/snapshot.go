@@ -1,0 +1,161 @@
+// Package snapshot provides the omniscient instrumentation the simulation
+// study relies on: given true node positions at an instant ("via assuming an
+// omniscient god", §5.1), it constructs the paper's three topologies —
+// original, logical, effective — and summarizes their connectivity, degree,
+// and range statistics.
+//
+// Package manet measures what the *protocol* achieves with stale, gossiped
+// state; this package computes what a protocol *would* achieve with perfect
+// consistent views, which is the reference point for Table 1 and for the
+// Theorem 1/5 assertions in the test suite.
+package snapshot
+
+import (
+	"mstc/internal/geom"
+	"mstc/internal/graph"
+	"mstc/internal/topology"
+)
+
+// Original returns the original topology: the unit-disk graph under the
+// normal transmission range.
+func Original(pts []geom.Point, normalRange float64) *graph.Undirected {
+	return graph.UnitDisk(pts, normalRange)
+}
+
+// Selections runs the protocol at every node over perfectly consistent
+// views (true positions) and returns each node's logical neighbor ids.
+func Selections(pts []geom.Point, p topology.Protocol, normalRange float64) [][]int {
+	sel := make([][]int, len(pts))
+	for u := range pts {
+		v := topology.View{Self: topology.NodeInfo{ID: u, Pos: pts[u]}}
+		for w := range pts {
+			if w != u && pts[u].Dist(pts[w]) <= normalRange {
+				v.Neighbors = append(v.Neighbors, topology.NodeInfo{ID: w, Pos: pts[w]})
+			}
+		}
+		sel[u] = p.Select(v.Canon())
+	}
+	return sel
+}
+
+// Logical returns the logical topology under the framework's semantics:
+// a link survives iff neither endpoint removed it (both selected each
+// other).
+func Logical(pts []geom.Point, sel [][]int) *graph.Undirected {
+	g := graph.NewUndirected(len(pts))
+	for u, s := range sel {
+		for _, v := range s {
+			if v > u && intsContain(sel[v], u) {
+				g.AddEdge(u, v, pts[u].Dist(pts[v]))
+			}
+		}
+	}
+	return g
+}
+
+// Ranges returns each node's extended transmission range: distance to its
+// farthest selected neighbor plus the buffer width, clamped to normalRange.
+func Ranges(pts []geom.Point, sel [][]int, buffer, normalRange float64) []float64 {
+	r := make([]float64, len(pts))
+	for u, s := range sel {
+		actual := 0.0
+		for _, v := range s {
+			if d := pts[u].Dist(pts[v]); d > actual {
+				actual = d
+			}
+		}
+		r[u] = topology.ExtendedRange(actual, buffer, normalRange)
+	}
+	return r
+}
+
+// Effective returns the (bidirectional) effective topology of §3.3:
+// a logical link (u, v) is effective iff both endpoints' transmission
+// ranges cover the current distance.
+func Effective(pts []geom.Point, logical *graph.Undirected, ranges []float64) *graph.Undirected {
+	g := graph.NewUndirected(len(pts))
+	for _, e := range logical.Edges() {
+		d := pts[e.U].Dist(pts[e.V])
+		if ranges[e.U] >= d && ranges[e.V] >= d {
+			g.AddEdge(e.U, e.V, d)
+		}
+	}
+	return g
+}
+
+// EffectiveDirected returns the directed effective topology the forwarding
+// rule induces: arc u→v iff v is within u's range and v accepts packets
+// from u (u selected v, or the physical-neighbor mechanism is on).
+func EffectiveDirected(pts []geom.Point, sel [][]int, ranges []float64, physicalNeighbors bool) *graph.Directed {
+	n := len(pts)
+	d := graph.NewDirected(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if v == u || pts[u].Dist(pts[v]) > ranges[u] {
+				continue
+			}
+			if physicalNeighbors || intsContain(sel[u], v) {
+				d.AddArc(u, v)
+			}
+		}
+	}
+	return d
+}
+
+// Summary collects the instant's statistics.
+type Summary struct {
+	// OriginalConnected reports whether the unit-disk graph is connected.
+	OriginalConnected bool
+	// LogicalConnectivity is the pair connectivity of the logical
+	// topology.
+	LogicalConnectivity float64
+	// EffectiveConnectivity is the pair connectivity of the bidirectional
+	// effective topology.
+	EffectiveConnectivity float64
+	// AvgRange is the mean extended transmission range.
+	AvgRange float64
+	// AvgLogicalDegree is the mean per-node selection size.
+	AvgLogicalDegree float64
+	// AvgPhysicalDegree is the mean number of nodes within a node's
+	// extended range.
+	AvgPhysicalDegree float64
+}
+
+// Summarize computes the full Summary for a protocol at one instant.
+func Summarize(pts []geom.Point, p topology.Protocol, buffer, normalRange float64) Summary {
+	sel := Selections(pts, p, normalRange)
+	logical := Logical(pts, sel)
+	ranges := Ranges(pts, sel, buffer, normalRange)
+	eff := Effective(pts, logical, ranges)
+	s := Summary{
+		OriginalConnected:     Original(pts, normalRange).Connected(),
+		LogicalConnectivity:   logical.PairConnectivity(),
+		EffectiveConnectivity: eff.PairConnectivity(),
+	}
+	n := len(pts)
+	if n == 0 {
+		return s
+	}
+	for u := 0; u < n; u++ {
+		s.AvgRange += ranges[u]
+		s.AvgLogicalDegree += float64(len(sel[u]))
+		for v := 0; v < n; v++ {
+			if v != u && pts[u].Dist(pts[v]) <= ranges[u] {
+				s.AvgPhysicalDegree++
+			}
+		}
+	}
+	s.AvgRange /= float64(n)
+	s.AvgLogicalDegree /= float64(n)
+	s.AvgPhysicalDegree /= float64(n)
+	return s
+}
+
+func intsContain(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,181 @@
+package snapshot
+
+import (
+	"math"
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/graph"
+	"mstc/internal/mobility"
+	"mstc/internal/topology"
+	"mstc/internal/xrand"
+)
+
+var arena = geom.Square(900)
+
+const normalRange = 250.0
+
+func connectedPoints(t *testing.T, seed uint64, n int) []geom.Point {
+	t.Helper()
+	for s := seed; ; s++ {
+		pts := mobility.UniformPoints(arena, n, xrand.New(s))
+		if Original(pts, normalRange).Connected() {
+			return pts
+		}
+	}
+}
+
+func TestLogicalConnectedForAllProtocols(t *testing.T) {
+	pts := connectedPoints(t, 1, 100)
+	for _, p := range topology.Baselines(normalRange) {
+		sel := Selections(pts, p, normalRange)
+		lg := Logical(pts, sel)
+		if !lg.Connected() {
+			t.Errorf("%s logical topology disconnected on a connected instance", p.Name())
+		}
+		if lg.PairConnectivity() != 1 {
+			t.Errorf("%s pair connectivity %v", p.Name(), lg.PairConnectivity())
+		}
+	}
+}
+
+func TestEffectiveEqualsLogicalWhenStatic(t *testing.T) {
+	// §3.3: in static networks E'' = E' — each range covers its farthest
+	// logical neighbor exactly.
+	pts := connectedPoints(t, 3, 80)
+	for _, p := range topology.Baselines(normalRange) {
+		sel := Selections(pts, p, normalRange)
+		lg := Logical(pts, sel)
+		ranges := Ranges(pts, sel, 0, normalRange)
+		eff := Effective(pts, lg, ranges)
+		if eff.M() != lg.M() {
+			t.Errorf("%s: effective %d edges != logical %d", p.Name(), eff.M(), lg.M())
+		}
+	}
+}
+
+func TestRangesCoverSelections(t *testing.T) {
+	pts := connectedPoints(t, 5, 80)
+	sel := Selections(pts, topology.RNG{}, normalRange)
+	ranges := Ranges(pts, sel, 0, normalRange)
+	for u, s := range sel {
+		for _, v := range s {
+			if pts[u].Dist(pts[v]) > ranges[u]+1e-9 {
+				t.Fatalf("node %d range %v does not cover selected %d at %v",
+					u, ranges[u], v, pts[u].Dist(pts[v]))
+			}
+		}
+	}
+	// Buffer adds exactly buffer (below the clamp).
+	b := Ranges(pts, sel, 10, normalRange)
+	for u := range pts {
+		if ranges[u] > 0 && ranges[u]+10 <= normalRange {
+			if math.Abs(b[u]-(ranges[u]+10)) > 1e-6 {
+				t.Fatalf("buffered range %v != %v+10", b[u], ranges[u])
+			}
+		}
+		if b[u] > normalRange {
+			t.Fatalf("range %v exceeds normal range", b[u])
+		}
+	}
+}
+
+func TestEffectiveDropsOutOfRangeLinks(t *testing.T) {
+	// Hand-built: 0-1 logical at distance 10, but node 1's range too
+	// small (simulating stale info).
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}
+	lg := graph.NewUndirected(2)
+	lg.AddEdge(0, 1, 10)
+	eff := Effective(pts, lg, []float64{10, 9.99})
+	if eff.M() != 0 {
+		t.Error("one-sided coverage must not yield an effective link")
+	}
+	eff = Effective(pts, lg, []float64{10, 10})
+	if eff.M() != 1 {
+		t.Error("mutual coverage must yield an effective link")
+	}
+}
+
+func TestEffectiveDirected(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(30, 0)}
+	sel := [][]int{{1}, {0}, {1}} // 2 selected 1, but 1 did not select 2
+	ranges := []float64{10, 10, 20}
+	d := EffectiveDirected(pts, sel, ranges, false)
+	// 0->1 (selected, in range), 1->0 (selected, in range), 2->1
+	// (selected, in range 20). 1->2 absent (not selected).
+	if got := d.M(); got != 3 {
+		t.Fatalf("arcs = %d, want 3", got)
+	}
+	dPN := EffectiveDirected(pts, sel, ranges, true)
+	// PN adds 1->2? distance 20 > range 10: no. Adds nothing here except
+	// any in-range pair: 0->1, 1->0, 2->1 same.
+	if got := dPN.M(); got != 3 {
+		t.Fatalf("PN arcs = %d, want 3", got)
+	}
+	// Raise ranges: PN now accepts non-selected links.
+	dPN = EffectiveDirected(pts, sel, []float64{30, 30, 30}, true)
+	if got := dPN.M(); got != 6 {
+		t.Fatalf("PN arcs with big ranges = %d, want 6", got)
+	}
+}
+
+func TestSummarizeTable1Shape(t *testing.T) {
+	// The Table 1 ordering must hold on ideal snapshots: MST smallest
+	// range/degree, SPT-2 largest.
+	pts := connectedPoints(t, 7, 100)
+	sums := map[string]Summary{}
+	for _, p := range topology.Baselines(normalRange) {
+		sums[p.Name()] = Summarize(pts, p, 0, normalRange)
+	}
+	if !(sums["MST"].AvgRange < sums["RNG"].AvgRange && sums["RNG"].AvgRange < sums["SPT-2"].AvgRange) {
+		t.Errorf("range ordering violated: MST=%.1f RNG=%.1f SPT-2=%.1f",
+			sums["MST"].AvgRange, sums["RNG"].AvgRange, sums["SPT-2"].AvgRange)
+	}
+	if !(sums["MST"].AvgLogicalDegree < sums["SPT-2"].AvgLogicalDegree) {
+		t.Errorf("degree ordering violated: MST=%.2f SPT-2=%.2f",
+			sums["MST"].AvgLogicalDegree, sums["SPT-2"].AvgLogicalDegree)
+	}
+	for name, s := range sums {
+		if !s.OriginalConnected {
+			t.Fatalf("%s: original should be connected", name)
+		}
+		if s.LogicalConnectivity != 1 || s.EffectiveConnectivity != 1 {
+			t.Errorf("%s: static connectivity should be 1 (logical %v, effective %v)",
+				name, s.LogicalConnectivity, s.EffectiveConnectivity)
+		}
+		if s.AvgPhysicalDegree < s.AvgLogicalDegree-1e-9 {
+			t.Errorf("%s: physical degree below logical", name)
+		}
+	}
+	if s := Summarize(nil, topology.RNG{}, 0, normalRange); s.AvgRange != 0 {
+		t.Error("empty summarize should be zero")
+	}
+}
+
+// TestTheorem5Snapshot: buffered ranges sized by Theorem 5 cover any
+// movement within the delay/speed budget — the effective topology computed
+// against *moved* positions retains every logical link.
+func TestTheorem5Snapshot(t *testing.T) {
+	pts := connectedPoints(t, 11, 80)
+	const maxDelay, maxSpeed = 2.5, 20.0
+	l := topology.BufferWidth(maxDelay, maxSpeed)
+	for _, p := range topology.Baselines(normalRange) {
+		sel := Selections(pts, p, normalRange)
+		lg := Logical(pts, sel)
+		ranges := Ranges(pts, sel, l, 1e18 /* no clamp: pure theorem */)
+		// Adversarially move every node up to maxDelay*maxSpeed.
+		rng := xrand.New(99)
+		moved := make([]geom.Point, len(pts))
+		for i, q := range pts {
+			moved[i] = q.Add(geom.Polar(rng.Uniform(0, maxDelay*maxSpeed), rng.Uniform(0, 2*math.Pi)))
+		}
+		eff := Effective(moved, lg, ranges)
+		if eff.M() != lg.M() {
+			t.Errorf("%s: theorem-5 buffer lost %d of %d logical links",
+				p.Name(), lg.M()-eff.M(), lg.M())
+		}
+		if !eff.Connected() {
+			t.Errorf("%s: effective topology disconnected despite theorem-5 buffer", p.Name())
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package spatial provides a uniform grid index over the simulation arena
+// for fast fixed-radius neighbor queries.
+//
+// The radio model asks "which nodes are within range r of point p right
+// now?" once per transmission, and the snapshot analyzer asks for all pairs
+// within the normal range at every sample instant. With n nodes spread over
+// the arena, bucketing by a cell size on the order of the query radius makes
+// both expected O(k) in the number of results instead of O(n).
+//
+// All query results are returned in ascending node-id order so downstream
+// consumers remain deterministic.
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mstc/internal/geom"
+)
+
+// Index is a uniform grid over an arena holding one point per node id.
+// Build may be called repeatedly to re-index fresh positions; queries are
+// read-only and safe to run concurrently with each other (but not with
+// Build).
+type Index struct {
+	arena geom.Rect
+	cell  float64
+	nx    int
+	ny    int
+	cells [][]int32
+	pts   []geom.Point
+}
+
+// NewIndex creates an index over the arena with the given cell size.
+// A cell size near the typical query radius is a good default; see
+// BenchmarkAblationGridCell for the measured trade-off.
+func NewIndex(arena geom.Rect, cell float64) (*Index, error) {
+	if arena.Empty() {
+		return nil, fmt.Errorf("spatial: empty arena")
+	}
+	if cell <= 0 {
+		return nil, fmt.Errorf("spatial: cell size must be positive, got %g", cell)
+	}
+	nx := int(math.Ceil(arena.Width()/cell)) + 1
+	ny := int(math.Ceil(arena.Height()/cell)) + 1
+	return &Index{
+		arena: arena,
+		cell:  cell,
+		nx:    nx,
+		ny:    ny,
+		cells: make([][]int32, nx*ny),
+	}, nil
+}
+
+// MustIndex is NewIndex that panics on error, for call sites with
+// compile-time-constant arguments.
+func MustIndex(arena geom.Rect, cell float64) *Index {
+	ix, err := NewIndex(arena, cell)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+func (ix *Index) cellOf(p geom.Point) (cx, cy int) {
+	cx = int((p.X - ix.arena.Min.X) / ix.cell)
+	cy = int((p.Y - ix.arena.Min.Y) / ix.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= ix.nx {
+		cx = ix.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= ix.ny {
+		cy = ix.ny - 1
+	}
+	return cx, cy
+}
+
+// Build (re)indexes the given positions; the point at index i belongs to
+// node id i. The slice is retained until the next Build, so callers must not
+// mutate it while querying.
+func (ix *Index) Build(points []geom.Point) {
+	for i := range ix.cells {
+		ix.cells[i] = ix.cells[i][:0]
+	}
+	ix.pts = points
+	for id, p := range points {
+		cx, cy := ix.cellOf(p)
+		c := cy*ix.nx + cx
+		ix.cells[c] = append(ix.cells[c], int32(id))
+	}
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.pts) }
+
+// Position returns the indexed position of node id.
+func (ix *Index) Position(id int) geom.Point { return ix.pts[id] }
+
+// Within appends to dst the ids of all indexed nodes within distance r of p
+// (inclusive), in ascending id order, and returns the extended slice.
+// Pass a non-nil dst to avoid allocation on hot paths.
+func (ix *Index) Within(p geom.Point, r float64, dst []int) []int {
+	if r < 0 {
+		return dst
+	}
+	start := len(dst)
+	r2 := r * r
+	cx0, cy0 := ix.cellOf(geom.Pt(p.X-r, p.Y-r))
+	cx1, cy1 := ix.cellOf(geom.Pt(p.X+r, p.Y+r))
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * ix.nx
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, id := range ix.cells[row+cx] {
+				if ix.pts[id].Dist2(p) <= r2 {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	sort.Ints(dst[start:])
+	return dst
+}
+
+// WithinOf is Within centered on node id's own position, with id itself
+// excluded from the result.
+func (ix *Index) WithinOf(id int, r float64, dst []int) []int {
+	start := len(dst)
+	dst = ix.Within(ix.pts[id], r, dst)
+	out := dst[start:start]
+	for _, v := range dst[start:] {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	return dst[:start+len(out)]
+}
+
+// Pairs calls fn(i, j) for every pair of distinct indexed nodes with
+// distance at most r, with i < j, in deterministic (lexicographic) order.
+func (ix *Index) Pairs(r float64, fn func(i, j int)) {
+	if r < 0 {
+		return
+	}
+	buf := make([]int, 0, 64)
+	for i := range ix.pts {
+		buf = ix.Within(ix.pts[i], r, buf[:0])
+		for _, j := range buf {
+			if j > i {
+				fn(i, j)
+			}
+		}
+	}
+}
+
+// BruteWithin is the O(n) reference implementation of Within, used for
+// differential testing and as a fallback for tiny n.
+func BruteWithin(points []geom.Point, p geom.Point, r float64, dst []int) []int {
+	r2 := r * r
+	for id := range points {
+		if points[id].Dist2(p) <= r2 {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}

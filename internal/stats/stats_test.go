@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mstc/internal/xrand"
+)
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.CI95() != 0 {
+		t.Errorf("empty sample stats nonzero: %+v", s)
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	if s.Mean() != 5 || s.Variance() != 0 || s.CI95() != 0 {
+		t.Errorf("single obs: mean=%v var=%v ci=%v", s.Mean(), s.Variance(), s.CI95())
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	// {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population var 4, sample var 32/7.
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	// CI95 with df=7: 2.365 * sqrt(32/7)/sqrt(8).
+	want := 2.365 * math.Sqrt(32.0/7) / math.Sqrt(8)
+	if math.Abs(s.CI95()-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestConstantSampleHasZeroVariance(t *testing.T) {
+	var s Sample
+	for i := 0; i < 100; i++ {
+		s.Add(3.25)
+	}
+	if s.Variance() != 0 || s.CI95() != 0 {
+		t.Errorf("constant sample: var=%v ci=%v", s.Variance(), s.CI95())
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// The CI should contain the true mean ~95% of the time. With 400
+	// experiments of 20 normal draws each, coverage within [0.90, 0.99].
+	rng := xrand.New(99)
+	hits := 0
+	const experiments = 400
+	for e := 0; e < experiments; e++ {
+		var s Sample
+		for i := 0; i < 20; i++ {
+			s.Add(10 + 3*rng.NormFloat64())
+		}
+		if math.Abs(s.Mean()-10) <= s.CI95() {
+			hits++
+		}
+	}
+	cov := float64(hits) / experiments
+	if cov < 0.90 || cov > 0.99 {
+		t.Errorf("CI95 coverage = %v, want ~0.95", cov)
+	}
+}
+
+func TestMergeEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		var whole, a, b Sample
+		n := 2 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			x := rng.Uniform(-100, 100)
+			whole.Add(x)
+			if i%2 == 0 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		return a.N() == whole.N() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCritMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		c := tCrit95(df)
+		if c > prev+1e-12 {
+			t.Fatalf("tCrit95 not non-increasing at df=%d: %v > %v", df, c, prev)
+		}
+		prev = c
+	}
+	if !math.IsNaN(tCrit95(0)) {
+		t.Error("tCrit95(0) should be NaN")
+	}
+	if tCrit95(1000) != 1.960 {
+		t.Errorf("large-df tCrit = %v", tCrit95(1000))
+	}
+}
+
+func TestVarianceNeverNegative(t *testing.T) {
+	f := func(base float64, n uint8) bool {
+		if math.IsNaN(base) || math.IsInf(base, 0) || math.Abs(base) > 1e12 {
+			return true
+		}
+		var s Sample
+		for i := 0; i < int(n%50)+2; i++ {
+			s.Add(base) // identical values: catastrophic cancellation risk
+		}
+		return s.Variance() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	if got := s.String(); !strings.Contains(got, "±") {
+		t.Errorf("String = %q", got)
+	}
+}

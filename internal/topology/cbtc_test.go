@@ -1,0 +1,210 @@
+package topology
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/graph"
+)
+
+// logicalOR builds the logical topology keeping unidirectional links
+// (a link survives if either endpoint selected it) — the semantics under
+// which CBTC with alpha <= 5π/6 preserves connectivity.
+func logicalOR(pts []geom.Point, p Protocol, r float64) *graph.Undirected {
+	n := len(pts)
+	g := graph.NewUndirected(n)
+	for u := 0; u < n; u++ {
+		for _, v := range p.Select(viewOf(pts, u, r)) {
+			if v != u && !g.HasEdge(u, v) {
+				g.AddEdge(u, v, pts[u].Dist(pts[v]))
+			}
+		}
+	}
+	return g
+}
+
+func TestCBTCSelectsNearestCoverage(t *testing.T) {
+	// Four near neighbors at right angles cover every 2π/3 cone (maximal
+	// gap 90° <= 120°); the farther fifth node must not be selected.
+	pts := []geom.Point{
+		geom.Pt(0, 0),
+		geom.Pt(10, 0),
+		geom.Pt(0, 11),
+		geom.Pt(-12, 0),
+		geom.Pt(0, -13),
+		geom.Pt(50, 50), // farther, direction already covered
+	}
+	got := (CBTC{Alpha: 2 * math.Pi / 3}).Select(viewOf(pts, 0, 1000))
+	want := []int{1, 2, 3, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CBTC select = %v, want %v", got, want)
+	}
+	// The first three alone leave a >120° gap toward -y, so selection
+	// cannot stop earlier; with alpha = 3π/2 it does stop at two.
+	got = (CBTC{Alpha: 3 * math.Pi / 2}).Select(viewOf(pts, 0, 1000))
+	want = []int{1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CBTC(3π/2) select = %v, want %v", got, want)
+	}
+}
+
+func TestCBTCBoundaryNodeKeepsAll(t *testing.T) {
+	// All neighbors on one side: coverage unreachable, every neighbor is
+	// selected (the boundary-node rule).
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(12, 3), geom.Pt(20, -2),
+	}
+	got := (CBTC{Alpha: 2 * math.Pi / 3}).Select(viewOf(pts, 0, 1000))
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("boundary node select = %v, want all", got)
+	}
+}
+
+func TestCBTCSingleNeighbor(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(5, 5)}
+	got := (CBTC{Alpha: 2 * math.Pi / 3}).Select(viewOf(pts, 0, 1000))
+	if !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("single neighbor select = %v", got)
+	}
+	if got := (CBTC{Alpha: 2 * math.Pi}).Select(viewOf(pts, 0, 1000)); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("full-circle alpha select = %v", got)
+	}
+}
+
+func TestCBTCPanicsOnBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha=%g: expected panic", alpha)
+				}
+			}()
+			(CBTC{Alpha: alpha}).Select(View{Neighbors: []NodeInfo{{ID: 1}}})
+		}()
+	}
+}
+
+// TestCBTCConnectivity56 verifies the 5π/6 bound: keeping unidirectional
+// links, the logical topology is connected.
+func TestCBTCConnectivity56(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		pts := connectedPoints(t, seed*131+7, 100)
+		p := CBTC{Alpha: 5 * math.Pi / 6}
+		if !logicalOR(pts, p, normalRange).Connected() {
+			t.Errorf("seed %d: CBTC(5π/6) OR-topology disconnected", seed)
+		}
+	}
+}
+
+// TestCBTCConnectivity23Symmetric verifies the 2π/3 bound: even after
+// removing unidirectional links (AND semantics), the topology is connected.
+func TestCBTCConnectivity23Symmetric(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		pts := connectedPoints(t, seed*137+11, 100)
+		p := CBTC{Alpha: 2 * math.Pi / 3}
+		if !logicalAND(pts, p, normalRange).Connected() {
+			t.Errorf("seed %d: CBTC(2π/3) AND-topology disconnected", seed)
+		}
+	}
+}
+
+// TestCBTCKConnectivity verifies the Bahramgiri et al. extension (§2.2):
+// CBTC with alpha = 2π/3k preserves k-connectivity. For k = 2 we check
+// biconnectivity of the OR-topology on instances whose unit-disk graph is
+// itself biconnected.
+func TestCBTCKConnectivity(t *testing.T) {
+	checked := 0
+	for seed := uint64(0); checked < 5 && seed < 60; seed++ {
+		pts := connectedPoints(t, seed*173+19, 100)
+		if !graph.UnitDisk(pts, normalRange).IsBiconnected() {
+			continue // vacuous instance
+		}
+		checked++
+		p := CBTC{Alpha: math.Pi / 3} // 2π/(3·2)
+		g := logicalOR(pts, p, normalRange)
+		if !g.IsBiconnected() {
+			t.Errorf("seed %d: CBTC(π/3) OR-topology not biconnected", seed)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no biconnected instances found")
+	}
+}
+
+func TestCBTCName(t *testing.T) {
+	if got := (CBTC{Alpha: 2 * math.Pi / 3}).Name(); got != "CBTC-2.09" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestKNeighSelect(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(20, 0), geom.Pt(5, 0), geom.Pt(50, 0),
+	}
+	got := (KNeigh{K: 2}).Select(viewOf(pts, 0, 1000))
+	if !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("KNeigh select = %v, want [1 3] (two nearest)", got)
+	}
+	// K larger than the neighborhood keeps everyone.
+	got = (KNeigh{K: 10}).Select(viewOf(pts, 0, 1000))
+	if len(got) != 4 {
+		t.Errorf("KNeigh select = %v, want all 4", got)
+	}
+}
+
+func TestKNeighPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	(KNeigh{K: 0}).Select(View{})
+}
+
+func TestKNeighDegreeBound(t *testing.T) {
+	pts := connectedPoints(t, 43, 100)
+	p := KNeigh{K: 9}
+	for u := range pts {
+		if got := p.Select(viewOf(pts, u, normalRange)); len(got) > 9 {
+			t.Fatalf("node %d selected %d > 9", u, len(got))
+		}
+	}
+}
+
+// TestKNeighProbabilisticConnectivity reproduces Blough et al.'s operating
+// point: with K = 9, the symmetric K-Neigh topology is connected on the
+// overwhelming majority of dense random instances.
+func TestKNeighProbabilisticConnectivity(t *testing.T) {
+	connected := 0
+	const trials = 20
+	for seed := uint64(0); seed < trials; seed++ {
+		pts := connectedPoints(t, seed*149+13, 100)
+		if logicalAND(pts, KNeigh{K: 9}, normalRange).Connected() {
+			connected++
+		}
+	}
+	if connected < trials*8/10 {
+		t.Errorf("K-Neigh(9) connected on only %d/%d instances", connected, trials)
+	}
+	// And K = 2 must often disconnect (it is not a connectivity-safe
+	// protocol) — this guards against the AND graph accidentally keeping
+	// everything.
+	disconnected := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		pts := connectedPoints(t, seed*151+17, 100)
+		if !logicalAND(pts, KNeigh{K: 2}, normalRange).Connected() {
+			disconnected++
+		}
+	}
+	if disconnected == 0 {
+		t.Error("K-Neigh(2) never disconnected; AND semantics suspicious")
+	}
+}
+
+func TestExtraProtocolNames(t *testing.T) {
+	if got := (KNeigh{K: 9}).Name(); got != "KNeigh-9" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,55 @@
+// Package topology implements the paper's topology-control framework
+// (§3–§4): link costs with a strict total order, local views, the
+// logical-neighbor selection rules of the RNG-, Gabriel-, MST-, SPT- and
+// Yao-based protocols, the enhanced (weakly consistent) selection rules,
+// and transmission-range computation with buffer zones.
+//
+// Everything here is pure: selectors map a local view to a logical-neighbor
+// set with no hidden state, which is what lets the same code run inside the
+// discrete-event simulator (package manet), inside the omniscient snapshot
+// analyzer (package snapshot), and inside property tests of Theorems 1–5.
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostFn maps a link's Euclidean distance to its cost c(u,v) (§3.1).
+// It must be strictly increasing so that cost order equals distance order.
+type CostFn func(d float64) float64
+
+// DistanceCost is c = d, used by RNG- and MST-based protocols.
+func DistanceCost(d float64) float64 { return d }
+
+// EnergyCost returns the cost function c = d^alpha + fixed, the transmission
+// energy model used by SPT-based (minimum-energy) protocols. The paper's
+// simulation uses fixed = 0 with alpha = 2 (free space) and alpha = 4
+// (two-ray ground reflection).
+func EnergyCost(alpha, fixed float64) CostFn {
+	if alpha < 1 {
+		panic(fmt.Sprintf("topology: EnergyCost alpha %g < 1", alpha))
+	}
+	return func(d float64) float64 { return math.Pow(d, alpha) + fixed }
+}
+
+// LinkLess is the strict total order over links required by the framework:
+// primarily by cost, with the canonical (min id, max id) pair breaking ties
+// (§3.1: "If two links have the same cost, IDs of end nodes can be used to
+// break a tie"). A strict total order is what makes simultaneous link
+// removals safe in Theorem 1's proof.
+func LinkLess(c1 float64, u1, v1 int, c2 float64, u2, v2 int) bool {
+	if c1 != c2 {
+		return c1 < c2
+	}
+	if u1 > v1 {
+		u1, v1 = v1, u1
+	}
+	if u2 > v2 {
+		u2, v2 = v2, u2
+	}
+	if u1 != u2 {
+		return u1 < u2
+	}
+	return v1 < v2
+}

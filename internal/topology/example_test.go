@@ -1,0 +1,57 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"mstc/internal/geom"
+	"mstc/internal/topology"
+)
+
+// A node selects logical neighbors from its local view; the actual
+// transmission range is the distance to the farthest one.
+func ExampleRNG_Select() {
+	view := topology.View{
+		Self: topology.NodeInfo{ID: 0, Pos: geom.Pt(0, 0)},
+		Neighbors: []topology.NodeInfo{
+			{ID: 1, Pos: geom.Pt(100, 0)},
+			{ID: 2, Pos: geom.Pt(200, 0)}, // witnessed by node 1: removed
+			{ID: 3, Pos: geom.Pt(0, 80)},
+		},
+	}.Canon()
+	logical := topology.RNG{}.Select(view)
+	fmt.Println("logical neighbors:", logical)
+	fmt.Println("actual range:", topology.ActualRange(view, logical))
+	// Output:
+	// logical neighbors: [1 3]
+	// actual range: 100
+}
+
+// The buffer zone of Theorem 5 guarantees coverage of moving neighbors.
+func ExampleBufferWidth() {
+	maxDelay := 2.5  // seconds: oldest usable "Hello" information
+	maxSpeed := 20.0 // m/s
+	l := topology.BufferWidth(maxDelay, maxSpeed)
+	fmt.Printf("buffer width: %.0f m\n", l)
+	fmt.Printf("extended range for a 80 m selection: %.0f m\n",
+		topology.ExtendedRange(80, l, 250))
+	// Output:
+	// buffer width: 100 m
+	// extended range for a 80 m selection: 180 m
+}
+
+// Weak consistency keeps a link whenever its optimistic cost cannot be
+// beaten by any pessimistic relay path (enhanced removal conditions, §4.2).
+func ExampleWeakRNG_SelectWeak() {
+	mv := topology.MultiView{
+		Self: topology.MultiNodeInfo{ID: 0, Positions: []geom.Point{geom.Pt(0, 0)}},
+		Neighbors: []topology.MultiNodeInfo{
+			// Node 1 advertised from two positions: its link cost is a range.
+			{ID: 1, Positions: []geom.Point{geom.Pt(100, 0), geom.Pt(140, 0)}},
+			// Node 2 is off to the side, not a lune witness for (0, 1).
+			{ID: 2, Positions: []geom.Point{geom.Pt(30, 90)}},
+		},
+	}
+	fmt.Println("selected:", topology.WeakRNG{}.SelectWeak(mv))
+	// Output:
+	// selected: [1 2]
+}

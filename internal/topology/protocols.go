@@ -1,0 +1,269 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"mstc/internal/geom"
+	"mstc/internal/graph"
+)
+
+// Protocol selects logical neighbors from a consistent local view.
+// Implementations must be pure (no state mutated by Select) so that a single
+// value can serve every node of the network concurrently.
+type Protocol interface {
+	// Name returns the short protocol name used in tables ("RNG",
+	// "MST", "SPT-2", ...).
+	Name() string
+	// Select returns the ids of view.Self's logical neighbors, a subset
+	// of view.Neighbors' ids, in ascending order. The view must be
+	// canonical (View.Canon).
+	Select(v View) []int
+}
+
+// RNG is the relative-neighborhood-graph-based protocol (§2.1, link-removal
+// condition 1 with c = d): link (u, v) is removed iff some witness w in the
+// view has cost(u,w) and cost(w,v) both strictly below cost(u,v) in the
+// LinkLess total order.
+type RNG struct{}
+
+// Name implements Protocol.
+func (RNG) Name() string { return "RNG" }
+
+// Select implements Protocol.
+func (RNG) Select(v View) []int {
+	out := make([]int, 0, 4)
+	u := v.Self
+	for _, n := range v.Neighbors {
+		cUV := u.Pos.Dist(n.Pos)
+		removed := false
+		for _, w := range v.Neighbors {
+			if w.ID == n.ID {
+				continue
+			}
+			cUW := u.Pos.Dist(w.Pos)
+			cWV := w.Pos.Dist(n.Pos)
+			if LinkLess(cUW, u.ID, w.ID, cUV, u.ID, n.ID) &&
+				LinkLess(cWV, w.ID, n.ID, cUV, u.ID, n.ID) {
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Gabriel is the Gabriel-graph special case of the RNG protocol: the
+// witness region is the disk with diameter uv instead of the lune. It keeps
+// strictly more edges than RNG.
+type Gabriel struct{}
+
+// Name implements Protocol.
+func (Gabriel) Name() string { return "GG" }
+
+// Select implements Protocol.
+func (Gabriel) Select(v View) []int {
+	out := make([]int, 0, 4)
+	for _, n := range v.Neighbors {
+		removed := false
+		for _, w := range v.Neighbors {
+			if w.ID != n.ID && geom.InGabrielDisk(w.Pos, v.Self.Pos, n.Pos) {
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// MST is the local-MST-based protocol (LMST, Li/Hou/Sha 2003; link-removal
+// condition 3): node u builds a minimum spanning tree over its view — with
+// an edge between two view nodes iff their distance is at most Range, the
+// normal transmission range — and keeps as logical neighbors exactly the
+// nodes adjacent to u in that tree.
+type MST struct {
+	// Range is the normal transmission range R: only view edges with
+	// d <= Range are known to exist in the original topology and may be
+	// used by the tree.
+	Range float64
+}
+
+// Name implements Protocol.
+func (MST) Name() string { return "MST" }
+
+// Select implements Protocol.
+func (m MST) Select(v View) []int {
+	ids, selfIdx, g := viewGraph(v, m.Range, DistanceCost)
+	edges, _ := graph.PrimMST(g)
+	out := make([]int, 0, 4)
+	for _, e := range edges {
+		if e.U == selfIdx {
+			out = append(out, ids[e.V])
+		} else if e.V == selfIdx {
+			out = append(out, ids[e.U])
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// SPT is the minimum-energy (shortest-path-tree-based) protocol
+// (Rodoplu/Meng 1999, Li/Halpern 2001 restricted to 1-hop information;
+// link-removal condition 2): link (u, v) is removed iff the view contains a
+// relay path whose total energy cost is strictly below the direct cost.
+type SPT struct {
+	// Alpha is the path-loss exponent of the energy model d^Alpha + Fixed.
+	Alpha float64
+	// Fixed is the distance-independent per-hop cost (0 in the paper's
+	// simulation).
+	Fixed float64
+	// Range is the normal transmission range bounding usable view edges.
+	Range float64
+}
+
+// Name implements Protocol.
+func (s SPT) Name() string {
+	if s.Alpha == float64(int(s.Alpha)) {
+		return fmt.Sprintf("SPT-%d", int(s.Alpha))
+	}
+	return fmt.Sprintf("SPT-%g", s.Alpha)
+}
+
+// Select implements Protocol.
+func (s SPT) Select(v View) []int {
+	cost := EnergyCost(s.Alpha, s.Fixed)
+	ids, selfIdx, g := viewGraph(v, s.Range, cost)
+	dist, _ := graph.Dijkstra(g, selfIdx)
+	out := make([]int, 0, 4)
+	idx := make(map[int]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	for _, n := range v.Neighbors {
+		direct := cost(v.Self.Pos.Dist(n.Pos))
+		// Keep the link unless a strictly cheaper indirect path exists.
+		// dist includes the direct edge, so dist <= direct always holds
+		// when the edge is usable; equality means direct is optimal.
+		if dist[idx[n.ID]] >= direct {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Yao is the Yao-graph-based protocol: the disk around u is divided into K
+// equal cones and the nearest view neighbor in each cone is selected.
+// Connectivity of the (directed) Yao graph is guaranteed for K >= 6.
+type Yao struct {
+	// K is the number of cones (>= 1; >= 6 for guaranteed connectivity).
+	K int
+}
+
+// Name implements Protocol.
+func (y Yao) Name() string { return fmt.Sprintf("Yao-%d", y.K) }
+
+// Select implements Protocol.
+func (y Yao) Select(v View) []int {
+	if y.K <= 0 {
+		panic(fmt.Sprintf("topology: Yao with K = %d", y.K))
+	}
+	best := make([]int, y.K) // index into v.Neighbors, -1 = empty
+	for i := range best {
+		best[i] = -1
+	}
+	for i, n := range v.Neighbors {
+		c := geom.ConeIndex(v.Self.Pos, n.Pos, y.K)
+		if best[c] == -1 {
+			best[c] = i
+			continue
+		}
+		cur := v.Neighbors[best[c]]
+		dNew := v.Self.Pos.Dist(n.Pos)
+		dCur := v.Self.Pos.Dist(cur.Pos)
+		if LinkLess(dNew, v.Self.ID, n.ID, dCur, v.Self.ID, cur.ID) {
+			best[c] = i
+		}
+	}
+	out := make([]int, 0, y.K)
+	for _, i := range best {
+		if i != -1 {
+			out = append(out, v.Neighbors[i].ID)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// None is the null protocol: every 1-hop neighbor is logical. It models the
+// uncontrolled network (normal transmission range) as a baseline.
+type None struct{}
+
+// Name implements Protocol.
+func (None) Name() string { return "none" }
+
+// Select implements Protocol.
+func (None) Select(v View) []int {
+	out := make([]int, len(v.Neighbors))
+	for i, n := range v.Neighbors {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// viewGraph builds the local-view graph used by MST and SPT selection.
+// View nodes are indexed in ascending real-id order so that the index-based
+// tie-breaking inside graph.PrimMST and graph.Dijkstra coincides with the
+// paper's global id-based total order — essential for different nodes'
+// local computations to agree on equal-cost links (Theorem 1 needs a single
+// total order shared by all nodes). An edge joins two view nodes iff their
+// distance is at most maxRange (maxRange <= 0 or +Inf means unbounded),
+// weighted by fn(distance). It returns the index→id table, Self's index,
+// and the graph.
+func viewGraph(v View, maxRange float64, fn CostFn) (ids []int, selfIdx int, g *graph.Undirected) {
+	n := len(v.Neighbors) + 1
+	ids = make([]int, 0, n)
+	pts := make([]geom.Point, 0, n)
+	selfIdx = -1
+	// v is canonical: neighbors ascend by id. Insert Self in id order.
+	for _, nb := range v.Neighbors {
+		if selfIdx == -1 && v.Self.ID < nb.ID {
+			selfIdx = len(ids)
+			ids = append(ids, v.Self.ID)
+			pts = append(pts, v.Self.Pos)
+		}
+		ids = append(ids, nb.ID)
+		pts = append(pts, nb.Pos)
+	}
+	if selfIdx == -1 {
+		selfIdx = len(ids)
+		ids = append(ids, v.Self.ID)
+		pts = append(pts, v.Self.Pos)
+	}
+	g = graph.NewUndirected(n)
+	r2 := maxRange * maxRange
+	if maxRange <= 0 || math.IsInf(maxRange, 1) {
+		r2 = math.Inf(1)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pts[i].Dist2(pts[j]) <= r2 {
+				g.AddEdge(i, j, fn(pts[i].Dist(pts[j])))
+			}
+		}
+	}
+	return ids, selfIdx, g
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

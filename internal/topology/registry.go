@@ -1,0 +1,63 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Baselines returns the four baseline protocols of the paper's evaluation
+// (§5.1), in the order used by Table 1 and Figures 6–10: MST, RNG, SPT-4,
+// SPT-2. normalRange is the normal transmission range (250 m in the paper).
+func Baselines(normalRange float64) []Protocol {
+	return []Protocol{
+		MST{Range: normalRange},
+		RNG{},
+		SPT{Alpha: 4, Range: normalRange},
+		SPT{Alpha: 2, Range: normalRange},
+	}
+}
+
+// ByName returns the protocol with the given name ("MST", "RNG", "GG",
+// "SPT-2", "SPT-4", "Yao-6", "none", ...). normalRange parameterizes the
+// protocols that need the normal transmission range.
+func ByName(name string, normalRange float64) (Protocol, error) {
+	switch name {
+	case "MST":
+		return MST{Range: normalRange}, nil
+	case "RNG":
+		return RNG{}, nil
+	case "GG":
+		return Gabriel{}, nil
+	case "SPT-2":
+		return SPT{Alpha: 2, Range: normalRange}, nil
+	case "SPT-4":
+		return SPT{Alpha: 4, Range: normalRange}, nil
+	case "Yao-6":
+		return Yao{K: 6}, nil
+	case "CBTC":
+		return CBTC{Alpha: 2 * math.Pi / 3}, nil
+	case "CBTC-56":
+		return CBTC{Alpha: 5 * math.Pi / 6}, nil
+	case "KNeigh-9":
+		return KNeigh{K: 9}, nil
+	case "none":
+		return None{}, nil
+	}
+	return nil, fmt.Errorf("topology: unknown protocol %q", name)
+}
+
+// WeakByName returns the weak-consistency variant of the given protocol
+// name ("MST", "RNG", "SPT-2", "SPT-4").
+func WeakByName(name string, normalRange float64) (WeakProtocol, error) {
+	switch name {
+	case "MST":
+		return WeakMST{Range: normalRange}, nil
+	case "RNG":
+		return WeakRNG{}, nil
+	case "SPT-2":
+		return WeakSPT{Alpha: 2, Range: normalRange}, nil
+	case "SPT-4":
+		return WeakSPT{Alpha: 4, Range: normalRange}, nil
+	}
+	return nil, fmt.Errorf("topology: no weak variant for protocol %q", name)
+}

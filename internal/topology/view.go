@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"math"
+	"sort"
+
+	"mstc/internal/geom"
+)
+
+// NodeInfo is one node's entry in a local view: its id and the position it
+// advertised in the "Hello" message the view was built from.
+type NodeInfo struct {
+	ID  int
+	Pos geom.Point
+}
+
+// View is a (strongly) consistent local view (§3.1): the observing node
+// itself plus one position per 1-hop neighbor. Consistency in the sense of
+// Definition 1 — a single version per node — is the caller's responsibility
+// (package manet builds views from a version store; package snapshot builds
+// them omnisciently).
+type View struct {
+	Self      NodeInfo
+	Neighbors []NodeInfo
+}
+
+// Canon returns the view with neighbors sorted by id and any duplicate or
+// self entries removed (keeping the first occurrence). Selectors require
+// canonical views; building one is O(n log n).
+func (v View) Canon() View {
+	nbrs := make([]NodeInfo, 0, len(v.Neighbors))
+	seen := map[int]bool{v.Self.ID: true}
+	for _, n := range v.Neighbors {
+		if !seen[n.ID] {
+			seen[n.ID] = true
+			nbrs = append(nbrs, n)
+		}
+	}
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i].ID < nbrs[j].ID })
+	return View{Self: v.Self, Neighbors: nbrs}
+}
+
+// Find returns the neighbor entry with the given id, if present.
+func (v View) Find(id int) (NodeInfo, bool) {
+	for _, n := range v.Neighbors {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return NodeInfo{}, false
+}
+
+// MultiNodeInfo is one node's entry in a weakly consistent view: all
+// positions carried by the k most recent "Hello" messages stored for it,
+// newest first.
+type MultiNodeInfo struct {
+	ID        int
+	Positions []geom.Point
+}
+
+// MultiView is a weakly consistent local view (§4.2): the observing node's
+// own recently *advertised* positions plus the stored recent positions of
+// every neighbor. Link (u, v) then has a cost *set* — one cost per pair of
+// stored positions — whose extrema drive the enhanced removal conditions.
+type MultiView struct {
+	Self      MultiNodeInfo
+	Neighbors []MultiNodeInfo
+}
+
+// CostRange returns the minimal and maximal cost of the link between two
+// position sets under fn: the extrema of { fn(|p-q|) : p ∈ a, q ∈ b }.
+// Because fn is strictly increasing, the extrema of the distances give the
+// extrema of the costs.
+func CostRange(a, b []geom.Point, fn CostFn) (cMin, cMax float64) {
+	dMin, dMax := distRange(a, b)
+	return fn(dMin), fn(dMax)
+}
+
+func distRange(a, b []geom.Point) (dMin, dMax float64) {
+	dMin = math.Inf(1)
+	dMax = -1
+	for _, p := range a {
+		for _, q := range b {
+			d2 := p.Dist2(q)
+			if d2 < dMin {
+				dMin = d2
+			}
+			if d2 > dMax {
+				dMax = d2
+			}
+		}
+	}
+	if dMax < 0 { // one of the sets is empty
+		return math.Inf(1), math.Inf(1)
+	}
+	return math.Sqrt(dMin), math.Sqrt(dMax)
+}

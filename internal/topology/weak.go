@@ -1,0 +1,257 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"mstc/internal/geom"
+)
+
+// WeakProtocol selects logical neighbors from a weakly consistent view
+// using the paper's *enhanced link-removal conditions* (§4.2): a link is
+// removed only when even its most optimistic cost (cMin) exceeds the most
+// pessimistic cost (cMax) of some replacement path. Theorem 4 proves the
+// resulting logical topology connected whenever views are weakly
+// consistent (Definition 2).
+type WeakProtocol interface {
+	// Name returns the protocol name with a "w" prefix ("wRNG", ...).
+	Name() string
+	// SelectWeak returns the ids of v.Self's logical neighbors, in
+	// ascending order.
+	SelectWeak(v MultiView) []int
+}
+
+// WeakRNG applies enhanced removal condition 1: remove (u, v) iff some
+// witness w has cMin(u,v) > max(cMax(u,w), cMax(w,v)).
+type WeakRNG struct{}
+
+// Name implements WeakProtocol.
+func (WeakRNG) Name() string { return "wRNG" }
+
+// SelectWeak implements WeakProtocol.
+func (WeakRNG) SelectWeak(v MultiView) []int {
+	out := make([]int, 0, 4)
+	for _, n := range v.Neighbors {
+		cMinUV, _ := CostRange(v.Self.Positions, n.Positions, DistanceCost)
+		removed := false
+		for _, w := range v.Neighbors {
+			if w.ID == n.ID {
+				continue
+			}
+			_, cMaxUW := CostRange(v.Self.Positions, w.Positions, DistanceCost)
+			_, cMaxWV := CostRange(w.Positions, n.Positions, DistanceCost)
+			if cMinUV > math.Max(cMaxUW, cMaxWV) {
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			out = append(out, n.ID)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// WeakMST applies enhanced removal condition 3: remove (u, v) iff the view
+// contains a relay path every edge of which has cMax below cMin(u,v) —
+// i.e. the minimax (bottleneck) path cost from u to v is below cMin(u,v).
+type WeakMST struct {
+	// Range is the normal transmission range; a view edge is usable by a
+	// relay path only when even its maximal cost keeps it within Range
+	// (the conservative existence test).
+	Range float64
+}
+
+// Name implements WeakProtocol.
+func (WeakMST) Name() string { return "wMST" }
+
+// SelectWeak implements WeakProtocol.
+func (m WeakMST) SelectWeak(v MultiView) []int {
+	mv := newMultiGraph(v, m.Range, DistanceCost)
+	bottleneck := mv.minimaxFromSelf()
+	out := make([]int, 0, 4)
+	for _, n := range v.Neighbors {
+		cMinUV, _ := CostRange(v.Self.Positions, n.Positions, DistanceCost)
+		if !(cMinUV > bottleneck[mv.idx[n.ID]]) {
+			out = append(out, n.ID)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// WeakSPT applies enhanced removal condition 2: remove (u, v) iff the view
+// contains a relay path whose summed cMax energy cost is below cMin(u,v).
+type WeakSPT struct {
+	// Alpha and Fixed parameterize the energy cost d^Alpha + Fixed.
+	Alpha float64
+	Fixed float64
+	// Range is the normal transmission range bounding usable relay edges.
+	Range float64
+}
+
+// Name implements WeakProtocol.
+func (s WeakSPT) Name() string {
+	if s.Alpha == float64(int(s.Alpha)) {
+		return fmt.Sprintf("wSPT-%d", int(s.Alpha))
+	}
+	return fmt.Sprintf("wSPT-%g", s.Alpha)
+}
+
+// SelectWeak implements WeakProtocol.
+func (s WeakSPT) SelectWeak(v MultiView) []int {
+	cost := EnergyCost(s.Alpha, s.Fixed)
+	mv := newMultiGraph(v, s.Range, cost)
+	dist := mv.shortestFromSelf()
+	out := make([]int, 0, 4)
+	for _, n := range v.Neighbors {
+		cMinUV, _ := CostRange(v.Self.Positions, n.Positions, cost)
+		if !(cMinUV > dist[mv.idx[n.ID]]) {
+			out = append(out, n.ID)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// multiGraph is the dense pessimistic-cost graph over a MultiView: nodes in
+// ascending id order, edge weight = cMax, edges restricted to pairs whose
+// cMax certifies the link exists (cMax <= fn(Range)).
+type multiGraph struct {
+	ids     []int
+	idx     map[int]int
+	selfIdx int
+	w       [][]float64 // cMax, +Inf if unusable
+}
+
+func newMultiGraph(v MultiView, maxRange float64, fn CostFn) *multiGraph {
+	n := len(v.Neighbors) + 1
+	type entry struct {
+		id  int
+		pos []geom.Point
+	}
+	entries := make([]entry, 0, n)
+	placed := false
+	for _, nb := range v.Neighbors {
+		if !placed && v.Self.ID < nb.ID {
+			entries = append(entries, entry{v.Self.ID, v.Self.Positions})
+			placed = true
+		}
+		entries = append(entries, entry{nb.ID, nb.Positions})
+	}
+	if !placed {
+		entries = append(entries, entry{v.Self.ID, v.Self.Positions})
+	}
+	mg := &multiGraph{
+		ids: make([]int, n),
+		idx: make(map[int]int, n),
+		w:   make([][]float64, n),
+	}
+	limit := math.Inf(1)
+	if maxRange > 0 && !math.IsInf(maxRange, 1) {
+		limit = fn(maxRange)
+	}
+	for i, e := range entries {
+		mg.ids[i] = e.id
+		mg.idx[e.id] = i
+		if e.id == v.Self.ID {
+			mg.selfIdx = i
+		}
+		mg.w[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		mg.w[i][i] = 0
+		for j := i + 1; j < n; j++ {
+			_, cMax := CostRange(entries[i].pos, entries[j].pos, fn)
+			if cMax > limit {
+				cMax = math.Inf(1)
+			}
+			mg.w[i][j] = cMax
+			mg.w[j][i] = cMax
+		}
+	}
+	return mg
+}
+
+// minimaxFromSelf returns, per node index, the minimal over paths from self
+// of the maximal edge weight along the path (bottleneck shortest path).
+func (mg *multiGraph) minimaxFromSelf() []float64 {
+	n := len(mg.ids)
+	key := make([]float64, n)
+	done := make([]bool, n)
+	for i := range key {
+		key[i] = math.Inf(1)
+	}
+	key[mg.selfIdx] = 0
+	pq := &f64Heap{{node: mg.selfIdx, key: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(f64Item)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for v := 0; v < n; v++ {
+			if v == u || done[v] {
+				continue
+			}
+			nk := math.Max(key[u], mg.w[u][v])
+			if nk < key[v] {
+				key[v] = nk
+				heap.Push(pq, f64Item{node: v, key: nk})
+			}
+		}
+	}
+	return key
+}
+
+// shortestFromSelf returns additive shortest-path distances from self over
+// the pessimistic weights.
+func (mg *multiGraph) shortestFromSelf() []float64 {
+	n := len(mg.ids)
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[mg.selfIdx] = 0
+	pq := &f64Heap{{node: mg.selfIdx, key: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(f64Item)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for v := 0; v < n; v++ {
+			if v == u || done[v] || math.IsInf(mg.w[u][v], 1) {
+				continue
+			}
+			if nd := dist[u] + mg.w[u][v]; nd < dist[v] {
+				dist[v] = nd
+				heap.Push(pq, f64Item{node: v, key: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type f64Item struct {
+	node int
+	key  float64
+}
+
+type f64Heap []f64Item
+
+func (h f64Heap) Len() int { return len(h) }
+func (h f64Heap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].node < h[j].node
+}
+func (h f64Heap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *f64Heap) Push(x any)   { *h = append(*h, x.(f64Item)) }
+func (h *f64Heap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }

@@ -1,0 +1,168 @@
+// Package trace records mobility models to a portable text format and
+// replays recorded traces as mobility.Model implementations — the
+// equivalent of feeding ns-2 "setdest" scenario files into the simulator,
+// so externally generated or captured movement traces can drive every
+// experiment.
+//
+// Format (line-oriented, '#' comments allowed):
+//
+//	mstc-trace 1
+//	arena <minx> <miny> <maxx> <maxy>
+//	nodes <n> samples <k> dt <seconds>
+//	<x> <y>    # node 0, sample 0
+//	...        # node-major: all samples of node 0, then node 1, ...
+//
+// Positions between samples are interpolated linearly, which is exact for
+// piecewise-linear models sampled at least once per leg and a close
+// approximation otherwise.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"mstc/internal/geom"
+	"mstc/internal/mobility"
+)
+
+// Record samples the model every dt seconds over its horizon and writes the
+// trace to w.
+func Record(w io.Writer, m mobility.Model, dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("trace: dt must be positive, got %g", dt)
+	}
+	samples := int(m.Horizon()/dt) + 1
+	bw := bufio.NewWriter(w)
+	a := m.Arena()
+	fmt.Fprintln(bw, "mstc-trace 1")
+	fmt.Fprintf(bw, "arena %g %g %g %g\n", a.Min.X, a.Min.Y, a.Max.X, a.Max.Y)
+	fmt.Fprintf(bw, "nodes %d samples %d dt %g\n", m.N(), samples, dt)
+	for id := 0; id < m.N(); id++ {
+		for s := 0; s < samples; s++ {
+			p := m.PositionAt(id, float64(s)*dt)
+			fmt.Fprintf(bw, "%g %g\n", p.X, p.Y)
+		}
+	}
+	return bw.Flush()
+}
+
+// Trace is a replayable recorded trace. It implements mobility.Model.
+type Trace struct {
+	arena    geom.Rect
+	dt       float64
+	samples  int
+	pos      [][]geom.Point // [node][sample]
+	maxSpeed float64
+}
+
+var _ mobility.Model = (*Trace)(nil)
+
+// Load parses a trace written by Record.
+func Load(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := func() (string, error) {
+		for sc.Scan() {
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, nil
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+
+	l, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	var version int
+	if _, err := fmt.Sscanf(l, "mstc-trace %d", &version); err != nil || version != 1 {
+		return nil, fmt.Errorf("trace: bad magic line %q", l)
+	}
+
+	l, err = line()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading arena: %w", err)
+	}
+	var ax0, ay0, ax1, ay1 float64
+	if _, err := fmt.Sscanf(l, "arena %g %g %g %g", &ax0, &ay0, &ax1, &ay1); err != nil {
+		return nil, fmt.Errorf("trace: bad arena line %q", l)
+	}
+
+	l, err = line()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	var n, samples int
+	var dt float64
+	if _, err := fmt.Sscanf(l, "nodes %d samples %d dt %g", &n, &samples, &dt); err != nil {
+		return nil, fmt.Errorf("trace: bad header line %q", l)
+	}
+	if n <= 0 || samples < 1 || dt <= 0 {
+		return nil, fmt.Errorf("trace: invalid header values n=%d samples=%d dt=%g", n, samples, dt)
+	}
+
+	tr := &Trace{
+		arena:   geom.NewRect(geom.Pt(ax0, ay0), geom.Pt(ax1, ay1)),
+		dt:      dt,
+		samples: samples,
+		pos:     make([][]geom.Point, n),
+	}
+	for id := 0; id < n; id++ {
+		tr.pos[id] = make([]geom.Point, samples)
+		for s := 0; s < samples; s++ {
+			l, err = line()
+			if err != nil {
+				return nil, fmt.Errorf("trace: node %d sample %d: %w", id, s, err)
+			}
+			var x, y float64
+			if _, err := fmt.Sscanf(l, "%g %g", &x, &y); err != nil {
+				return nil, fmt.Errorf("trace: bad position line %q", l)
+			}
+			tr.pos[id][s] = geom.Pt(x, y)
+			if s > 0 {
+				if v := tr.pos[id][s].Dist(tr.pos[id][s-1]) / dt; v > tr.maxSpeed {
+					tr.maxSpeed = v
+				}
+			}
+		}
+	}
+	return tr, nil
+}
+
+// N implements mobility.Model.
+func (t *Trace) N() int { return len(t.pos) }
+
+// Arena implements mobility.Model.
+func (t *Trace) Arena() geom.Rect { return t.arena }
+
+// MaxSpeed implements mobility.Model: the maximal observed inter-sample
+// speed.
+func (t *Trace) MaxSpeed() float64 { return t.maxSpeed }
+
+// Horizon implements mobility.Model.
+func (t *Trace) Horizon() float64 { return float64(t.samples-1) * t.dt }
+
+// PositionAt implements mobility.Model by linear interpolation between the
+// two surrounding samples.
+func (t *Trace) PositionAt(id int, at float64) geom.Point {
+	p := t.pos[id]
+	if at <= 0 {
+		return p[0]
+	}
+	if at >= t.Horizon() {
+		return p[len(p)-1]
+	}
+	f := at / t.dt
+	i := int(f)
+	if i >= len(p)-1 {
+		return p[len(p)-1]
+	}
+	return p[i].Lerp(p[i+1], f-float64(i))
+}

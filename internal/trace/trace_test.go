@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/mobility"
+	"mstc/internal/xrand"
+)
+
+var arena = geom.Square(900)
+
+func TestRecordLoadRoundTrip(t *testing.T) {
+	lo, hi := mobility.SpeedAround(20)
+	m, err := mobility.NewRandomWaypoint(arena, mobility.WaypointConfig{
+		N: 10, SpeedMin: lo, SpeedMax: hi, Horizon: 20,
+	}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, m, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != m.N() {
+		t.Fatalf("N = %d, want %d", tr.N(), m.N())
+	}
+	if tr.Arena() != m.Arena() {
+		t.Errorf("arena = %v", tr.Arena())
+	}
+	if tr.Horizon() != 20 {
+		t.Errorf("horizon = %v", tr.Horizon())
+	}
+	// Interpolated positions match within one sample's worth of motion.
+	tol := hi * 0.1
+	for id := 0; id < m.N(); id++ {
+		for at := 0.0; at <= 20; at += 0.37 {
+			d := tr.PositionAt(id, at).Dist(m.PositionAt(id, at))
+			if d > tol {
+				t.Fatalf("node %d at t=%v deviates %v m (tol %v)", id, at, d, tol)
+			}
+		}
+	}
+	// Exactly-on-sample positions match exactly (linear model).
+	for id := 0; id < m.N(); id++ {
+		for s := 0; s <= 200; s += 17 {
+			at := float64(s) * 0.1
+			if tr.PositionAt(id, at).Dist(m.PositionAt(id, at)) > 1e-9 {
+				t.Fatalf("sample point mismatch at node %d t=%v", id, at)
+			}
+		}
+	}
+}
+
+func TestMaxSpeedEstimate(t *testing.T) {
+	lo, hi := mobility.SpeedAround(20)
+	m, err := mobility.NewRandomWaypoint(arena, mobility.WaypointConfig{
+		N: 20, SpeedMin: lo, SpeedMax: hi, Horizon: 30,
+	}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, m, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxSpeed() > hi*1.01 {
+		t.Errorf("MaxSpeed %v exceeds model max %v", tr.MaxSpeed(), hi)
+	}
+	if tr.MaxSpeed() < lo {
+		t.Errorf("MaxSpeed %v below model min %v", tr.MaxSpeed(), lo)
+	}
+}
+
+func TestClampOutsideHorizon(t *testing.T) {
+	m := mobility.NewStatic(arena, []geom.Point{geom.Pt(5, 5)}, 10)
+	var buf bytes.Buffer
+	if err := Record(&buf, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PositionAt(0, -5) != geom.Pt(5, 5) || tr.PositionAt(0, 1e9) != geom.Pt(5, 5) {
+		t.Error("outside-horizon positions not clamped")
+	}
+}
+
+func TestRecordBadDt(t *testing.T) {
+	m := mobility.NewStatic(arena, []geom.Point{geom.Pt(1, 1)}, 10)
+	if err := Record(&bytes.Buffer{}, m, 0); err == nil {
+		t.Error("dt=0 accepted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad-magic":    "not-a-trace\n",
+		"bad-version":  "mstc-trace 9\narena 0 0 1 1\nnodes 1 samples 1 dt 1\n0 0\n",
+		"no-arena":     "mstc-trace 1\nnodes 1 samples 1 dt 1\n0 0\n",
+		"bad-header":   "mstc-trace 1\narena 0 0 1 1\nnodes x samples 1 dt 1\n",
+		"neg-values":   "mstc-trace 1\narena 0 0 1 1\nnodes 0 samples 1 dt 1\n",
+		"missing-rows": "mstc-trace 1\narena 0 0 1 1\nnodes 2 samples 2 dt 1\n0 0\n1 1\n2 2\n",
+		"bad-position": "mstc-trace 1\narena 0 0 1 1\nnodes 1 samples 1 dt 1\nfoo bar\n",
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadSkipsCommentsAndBlanks(t *testing.T) {
+	in := `# a comment
+mstc-trace 1
+
+arena 0 0 10 10
+# another
+nodes 1 samples 2 dt 0.5
+1 2
+
+3 4
+`
+	tr, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PositionAt(0, 0) != geom.Pt(1, 2) || tr.PositionAt(0, 0.5) != geom.Pt(3, 4) {
+		t.Error("positions wrong after comment skipping")
+	}
+	if mid := tr.PositionAt(0, 0.25); mid != geom.Pt(2, 3) {
+		t.Errorf("interpolation = %v, want (2,3)", mid)
+	}
+}

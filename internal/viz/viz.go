@@ -1,0 +1,122 @@
+// Package viz renders topology snapshots as standalone SVG documents:
+// nodes, layered edge sets (e.g. the original topology in light gray under
+// the logical topology in color), and optional transmission-range disks.
+// Stdlib only; the output opens in any browser.
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"mstc/internal/geom"
+	"mstc/internal/graph"
+)
+
+// Layer is one set of edges drawn with a shared style. Layers render in
+// order, so later layers draw on top.
+type Layer struct {
+	// Name labels the layer in the legend.
+	Name string
+	// Edges are node-index pairs into the Scene's points.
+	Edges []graph.Edge
+	// Color is any SVG color ("#888", "crimson").
+	Color string
+	// Width is the stroke width in scene units (meters).
+	Width float64
+	// Dashed draws the layer with a dash pattern.
+	Dashed bool
+}
+
+// Scene is a complete drawing.
+type Scene struct {
+	// Arena is the drawn region (meters).
+	Arena geom.Rect
+	// Points are node positions; the node id is the slice index.
+	Points []geom.Point
+	// Layers are edge sets, drawn in order.
+	Layers []Layer
+	// Ranges, if non-nil, draws a transmission-range disk per node
+	// (same length as Points).
+	Ranges []float64
+	// NodeRadius is the drawn node dot radius in meters (default 6).
+	NodeRadius float64
+	// Title, if set, is drawn at the top-left.
+	Title string
+}
+
+// Render writes the scene as a standalone SVG document.
+func (s Scene) Render(w io.Writer) error {
+	if s.Arena.Empty() {
+		return fmt.Errorf("viz: empty arena")
+	}
+	if s.Ranges != nil && len(s.Ranges) != len(s.Points) {
+		return fmt.Errorf("viz: %d ranges for %d points", len(s.Ranges), len(s.Points))
+	}
+	nodeR := s.NodeRadius
+	if nodeR == 0 {
+		nodeR = 6
+	}
+	const margin = 20.0
+	width := s.Arena.Width() + 2*margin
+	height := s.Arena.Height() + 2*margin
+	// SVG y grows downward; flip so the scene reads like the plane.
+	x := func(p geom.Point) float64 { return p.X - s.Arena.Min.X + margin }
+	y := func(p geom.Point) float64 { return height - (p.Y - s.Arena.Min.Y + margin) }
+
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr(`<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %.0f %.0f">`+"\n", width, height)
+	pr(`<rect width="100%%" height="100%%" fill="white"/>` + "\n")
+	if s.Ranges != nil {
+		pr(`<g fill="#4488cc" fill-opacity="0.05" stroke="#4488cc" stroke-opacity="0.15">` + "\n")
+		for i, p := range s.Points {
+			if s.Ranges[i] > 0 {
+				pr(`<circle cx="%.1f" cy="%.1f" r="%.1f"/>`+"\n", x(p), y(p), s.Ranges[i])
+			}
+		}
+		pr("</g>\n")
+	}
+	for _, l := range s.Layers {
+		dash := ""
+		if l.Dashed {
+			dash = ` stroke-dasharray="8 6"`
+		}
+		width := l.Width
+		if width == 0 {
+			width = 1.5
+		}
+		pr(`<g stroke="%s" stroke-width="%.1f"%s>`+"\n", l.Color, width, dash)
+		for _, e := range l.Edges {
+			if e.U < 0 || e.U >= len(s.Points) || e.V < 0 || e.V >= len(s.Points) {
+				return fmt.Errorf("viz: layer %q edge (%d, %d) out of range", l.Name, e.U, e.V)
+			}
+			a, b := s.Points[e.U], s.Points[e.V]
+			pr(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n", x(a), y(a), x(b), y(b))
+		}
+		pr("</g>\n")
+	}
+	pr(`<g fill="#222">` + "\n")
+	for _, p := range s.Points {
+		pr(`<circle cx="%.1f" cy="%.1f" r="%.1f"/>`+"\n", x(p), y(p), nodeR)
+	}
+	pr("</g>\n")
+	// Legend and title.
+	ly := 28.0
+	if s.Title != "" {
+		pr(`<text x="%.0f" y="%.0f" font-family="sans-serif" font-size="22">%s</text>`+"\n", margin, ly, s.Title)
+		ly += 26
+	}
+	for _, l := range s.Layers {
+		pr(`<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="%s" stroke-width="3"/>`+"\n",
+			margin, ly-5, margin+40, ly-5, l.Color)
+		pr(`<text x="%.0f" y="%.0f" font-family="sans-serif" font-size="16">%s</text>`+"\n",
+			margin+48, ly, l.Name)
+		ly += 22
+	}
+	pr("</svg>\n")
+	return err
+}

@@ -1,0 +1,108 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/graph"
+	"mstc/internal/mobility"
+	"mstc/internal/snapshot"
+	"mstc/internal/topology"
+	"mstc/internal/xrand"
+)
+
+func demoScene() Scene {
+	pts := []geom.Point{geom.Pt(100, 100), geom.Pt(300, 100), geom.Pt(200, 300)}
+	return Scene{
+		Arena:  geom.Square(900),
+		Points: pts,
+		Layers: []Layer{
+			{Name: "original", Edges: []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}, Color: "#ccc"},
+			{Name: "logical", Edges: []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, Color: "crimson", Width: 3},
+		},
+		Ranges: []float64{120, 120, 120},
+		Title:  "demo",
+	}
+}
+
+func TestRenderWellFormedXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoScene().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, buf.String())
+		}
+	}
+}
+
+func TestRenderContents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoScene().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "crimson", "#ccc", "demo", "original", "logical", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// 3 nodes + 3 range disks + 2 legend... count circles: 3 + 3 = 6.
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Errorf("circle count = %d, want 6", got)
+	}
+	// 3 original + 2 logical + 2 legend lines = 7.
+	if got := strings.Count(out, "<line"); got != 7 {
+		t.Errorf("line count = %d, want 7", got)
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	s := demoScene()
+	s.Arena = geom.Rect{Min: geom.Pt(1, 1), Max: geom.Pt(0, 0)}
+	if err := s.Render(&bytes.Buffer{}); err == nil {
+		t.Error("empty arena accepted")
+	}
+	s = demoScene()
+	s.Ranges = []float64{1}
+	if err := s.Render(&bytes.Buffer{}); err == nil {
+		t.Error("mismatched ranges accepted")
+	}
+	s = demoScene()
+	s.Layers[0].Edges = []graph.Edge{{U: 0, V: 99}}
+	if err := s.Render(&bytes.Buffer{}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestRenderRealTopology(t *testing.T) {
+	pts := mobility.UniformPoints(geom.Square(900), 60, xrand.New(4))
+	sel := snapshot.Selections(pts, topology.RNG{}, 250)
+	lg := snapshot.Logical(pts, sel)
+	s := Scene{
+		Arena:  geom.Square(900),
+		Points: pts,
+		Layers: []Layer{
+			{Name: "original", Edges: snapshot.Original(pts, 250).Edges(), Color: "#ddd"},
+			{Name: "RNG", Edges: lg.Edges(), Color: "#cc3344", Width: 2.5},
+		},
+		Ranges: snapshot.Ranges(pts, sel, 0, 250),
+		Title:  "RNG logical topology",
+	}
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 1000 {
+		t.Errorf("suspiciously small SVG: %d bytes", buf.Len())
+	}
+}

@@ -1,0 +1,156 @@
+// Package xrand provides a small, deterministic, splittable pseudo-random
+// number generator for reproducible simulations.
+//
+// The core generator is PCG-XSH-RR with a 64-bit state and a 63-bit stream
+// selector (O'Neill, 2014). On top of it, Source.Sub derives independent
+// substreams from integer labels, so every (experiment run, node, purpose)
+// triple gets its own stream: repetition i of an experiment draws exactly
+// the same values whether runs execute sequentially or on a worker pool.
+//
+// The package deliberately mirrors a subset of math/rand's API so call sites
+// stay idiomatic, but it never touches global state and is safe to seed
+// deterministically in tests.
+package xrand
+
+import "math"
+
+const (
+	pcgMult = 6364136223846793005
+	// splitmix64 constants, used for label mixing.
+	smGamma = 0x9E3779B97F4A7C15
+)
+
+// Source is a deterministic PCG-32 random stream. The zero value is not
+// valid; construct with New or Sub. Source is not safe for concurrent use;
+// derive one substream per goroutine instead of sharing.
+type Source struct {
+	state uint64
+	inc   uint64 // stream selector; always odd
+	id    uint64 // construction identity, the root of Sub derivation
+}
+
+// New returns a Source seeded from seed on the default stream.
+func New(seed uint64) *Source {
+	return NewStream(seed, 0)
+}
+
+// NewStream returns a Source seeded from seed on the given stream. Distinct
+// streams with the same seed are statistically independent.
+func NewStream(seed, stream uint64) *Source {
+	s := &Source{
+		inc: stream<<1 | 1,
+		// The identity must incorporate *both* seed and stream so Sub
+		// derivations differ whenever either does.
+		id: mix64(seed) ^ mix64(stream+smGamma),
+	}
+	// Standard PCG initialization: advance once, add seed, advance again.
+	s.state = 0
+	s.Uint32()
+	s.state += seed
+	s.Uint32()
+	return s
+}
+
+// mix64 is the splitmix64 finalizer; it decorrelates substream labels.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Sub derives an independent substream identified by the given labels.
+// The derivation is pure: it depends only on the receiver's construction
+// parameters (seed and stream) and the labels — never on how many values
+// the parent has drawn — and Sub does not advance the parent.
+func (s *Source) Sub(labels ...uint64) *Source {
+	seed := mix64(s.id)
+	stream := mix64(s.id + smGamma)
+	for _, l := range labels {
+		seed = mix64(seed + smGamma + l)
+		stream = mix64(stream ^ (l + smGamma))
+	}
+	return NewStream(seed, stream)
+}
+
+// Uint32 returns a uniformly distributed 32-bit value and advances the state.
+func (s *Source) Uint32() uint32 {
+	old := s.state
+	s.state = old*pcgMult + s.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31))
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Source) Uint64() uint64 {
+	return uint64(s.Uint32())<<32 | uint64(s.Uint32())
+}
+
+// Float64 returns a uniformly distributed value in [0, 1) with 53 bits of
+// precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed value in [0, n). It panics if n <= 0.
+// Lemire's nearly-divisionless rejection method keeps the result unbiased.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	bound := uint32(n)
+	threshold := -bound % bound
+	for {
+		r := s.Uint32()
+		if r >= threshold {
+			return int(r % bound)
+		}
+	}
+}
+
+// Uniform returns a uniformly distributed value in [lo, hi). It panics if
+// hi < lo.
+func (s *Source) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic("xrand: Uniform with hi < lo")
+	}
+	return lo + (hi-lo)*s.Float64()
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1
+// (mean 1), by inversion. Scale by 1/λ for other rates.
+func (s *Source) ExpFloat64() float64 {
+	// 1 - Float64() is in (0, 1], avoiding log(0).
+	return -math.Log(1 - s.Float64())
+}
+
+// NormFloat64 returns a standard normal value using the Marsaglia polar
+// method.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the supplied swap
+// function (Fisher–Yates).
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, s.Intn(i+1))
+	}
+}

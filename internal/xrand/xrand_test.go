@@ -1,0 +1,276 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a, b := NewStream(7, 1), NewStream(7, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different streams produced %d/100 identical draws", same)
+	}
+}
+
+func TestSubDeterministicAndPure(t *testing.T) {
+	root := New(99)
+	s1 := root.Sub(3, 14)
+	s2 := root.Sub(3, 14)
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatal("identical Sub labels must give identical streams")
+		}
+	}
+	// Sub must not advance the parent.
+	c1, c2 := New(99), New(99)
+	c1.Sub(1, 2, 3)
+	if c1.Uint64() != c2.Uint64() {
+		t.Error("Sub advanced the parent stream")
+	}
+}
+
+// TestSubDependsOnSeed is the regression test for the bug where Sub derived
+// only from the stream selector: substreams of differently seeded parents
+// were identical, silently collapsing every experiment repetition onto one
+// trajectory.
+func TestSubDependsOnSeed(t *testing.T) {
+	a := New(1).Sub('w', 0)
+	b := New(2).Sub('w', 0)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("substreams of different seeds produced %d/100 identical draws", same)
+	}
+	// And on distinct streams of the same seed.
+	c := NewStream(7, 1).Sub('x')
+	d := NewStream(7, 2).Sub('x')
+	same = 0
+	for i := 0; i < 100; i++ {
+		if c.Uint32() == d.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("substreams of different streams produced %d/100 identical draws", same)
+	}
+}
+
+func TestSubLabelsDistinguish(t *testing.T) {
+	root := New(5)
+	s1 := root.Sub(1)
+	s2 := root.Sub(2)
+	s3 := root.Sub(1, 0)
+	same12, same13 := 0, 0
+	for i := 0; i < 100; i++ {
+		v1, v2, v3 := s1.Uint32(), s2.Uint32(), s3.Uint32()
+		if v1 == v2 {
+			same12++
+		}
+		if v1 == v3 {
+			same13++
+		}
+	}
+	if same12 > 2 || same13 > 2 {
+		t.Errorf("label collisions: same12=%d same13=%d", same12, same13)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRangeAndUniformity(t *testing.T) {
+	s := New(17)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := s.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-draws/n) > 0.05*draws/n {
+			t.Errorf("bucket %d count %d deviates >5%% from %d", i, c, draws/n)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUniform(t *testing.T) {
+	s := New(19)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(0.75, 1.25)
+		if v < 0.75 || v >= 1.25 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+	if got := s.Uniform(3, 3); got != 3 {
+		t.Errorf("degenerate Uniform = %v, want 3", got)
+	}
+}
+
+func TestUniformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uniform(hi<lo) should panic")
+		}
+	}()
+	New(1).Uniform(2, 1)
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(23)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64 negative: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("ExpFloat64 mean = %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(29)
+	const n = 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("NormFloat64 mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("NormFloat64 variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 50)
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleUniformity(t *testing.T) {
+	// All 6 permutations of 3 elements should appear roughly equally.
+	s := New(31)
+	counts := map[[3]int]int{}
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		a := [3]int{0, 1, 2}
+		s.Shuffle(3, func(i, j int) { a[i], a[j] = a[j], a[i] })
+		counts[a]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d permutations, want 6", len(counts))
+	}
+	for p, c := range counts {
+		if math.Abs(float64(c)-draws/6.0) > 0.05*draws/6.0 {
+			t.Errorf("permutation %v count %d deviates >5%% from %d", p, c, draws/6)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Float64()
+	}
+	_ = sink
+}
