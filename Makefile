@@ -1,0 +1,24 @@
+# Development entry points. `make check` is the CI gate: build, go vet,
+# manetlint (the project's determinism analyzers), the test suite, and the
+# test suite again under the race detector.
+
+GO ?= go
+
+.PHONY: build test race vet lint check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/manetlint ./...
+
+check: build vet lint test race

@@ -1,0 +1,85 @@
+// Command manetlint runs the project's determinism and simulation-safety
+// analyzers (internal/lint) over the module and exits nonzero on any
+// finding. It is stdlib-only: packages are parsed with go/parser and
+// type-checked with go/types against GOROOT sources.
+//
+// Usage:
+//
+//	go run ./cmd/manetlint ./...
+//	go run ./cmd/manetlint ./internal/... ./cmd/paperfig
+//
+// Findings print as file:line:col: check: message. A finding is suppressed
+// by a same-line (or line-above) comment `//lint:ignore <check> <reason>`;
+// range-over-map loops are instead annotated `//lint:order-independent`.
+// Run with -checks to list the analyzer suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mstc/internal/lint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("manetlint: ")
+	listChecks := flag.Bool("checks", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.AllAnalyzers()
+	if *listChecks {
+		for _, a := range analyzers {
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, module, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, module, patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		log.Fatalf("%s matched no packages", strings.Join(patterns, " "))
+	}
+
+	// A broken tree cannot be meaningfully analyzed; surface type errors
+	// first (the tier-1 build gate means a healthy tree has none).
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			log.Fatalf("%s: type error: %v", pkg.PkgPath, terr)
+		}
+	}
+
+	cfg := lint.DefaultConfig()
+	diags := lint.Run(pkgs, cfg, analyzers)
+	diags = append(diags, lint.BadSuppressions(pkgs, cfg)...)
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Printf("manetlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

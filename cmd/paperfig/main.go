@@ -32,8 +32,19 @@ func main() {
 		seed     = flag.Uint64("seed", 2004, "root seed")
 		workers  = flag.Int("workers", 0, "parallel runs (default GOMAXPROCS)")
 		datDir   = flag.String("dat", "", "also write gnuplot-ready .dat/.txt files into this directory")
+		timing   = flag.Bool("timing", false, "report wall-clock duration per experiment on stderr")
 	)
 	flag.Parse()
+
+	// Figure output (stdout and -dat files) must be byte-identical across
+	// regenerations with the same seed, so no wall-clock value may reach
+	// it. Timing is an opt-in progress report on stderr only, read through
+	// this injected clock: nil means "don't measure at all", which also
+	// keeps the determinism contract grep-ably explicit.
+	var clock func() time.Time
+	if *timing {
+		clock = time.Now //lint:ignore no-wallclock opt-in stderr progress timing; never reaches figure output
+	}
 
 	o := experiment.DefaultOptions()
 	if *quick {
@@ -64,11 +75,17 @@ func main() {
 	}
 
 	run := func(name string, fn func() error) {
-		start := time.Now()
+		var start time.Time
+		if clock != nil {
+			start = clock()
+		}
 		if err := fn(); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if clock != nil {
+			// log prints to stderr, keeping stdout reproducible.
+			log.Printf("[%s done in %v]", name, clock().Sub(start).Round(time.Millisecond))
+		}
 	}
 
 	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }

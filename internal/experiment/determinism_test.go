@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"mstc/internal/manet"
+)
+
+// resultsDigest serializes results field-by-field and hashes them, so any
+// future nondeterminism — a reordered worker write, a map-order leak, a
+// wall-clock read — changes the digest and fails loudly instead of drifting
+// a statistic by a fraction of a percent.
+func resultsDigest(results []manet.Result) string {
+	h := sha256.New()
+	for i, r := range results {
+		fmt.Fprintf(h, "%d|%#v\n", i, r)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestDeterminismRegression runs the same small scenario sequentially and
+// on the worker pool and asserts the serialized results are byte-identical.
+// This is the executable form of DESIGN.md's determinism contract: results
+// depend only on (seed, task), never on scheduling.
+func TestDeterminismRegression(t *testing.T) {
+	o := tinyOptions()
+	o.N = 40
+	o.Duration = 5
+	var tasks []Run
+	for _, p := range []string{"RNG", "MST", "SPT-2"} {
+		for rep := 0; rep < 2; rep++ {
+			tasks = append(tasks, Run{Protocol: p, Speed: 40, Rep: rep})
+			tasks = append(tasks, Run{Protocol: p, Speed: 40, Mech: manet.Mechanisms{Buffer: 10, ViewSync: true}, Rep: rep})
+		}
+	}
+
+	digests := make(map[string]string)
+	for _, workers := range []int{1, 8} {
+		o.Workers = workers
+		results, err := Execute(o, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests[fmt.Sprintf("workers=%d", workers)] = resultsDigest(results)
+	}
+	// A second pool run guards against scheduling-dependent flakiness that
+	// a single lucky interleaving could hide.
+	o.Workers = 8
+	results, err := Execute(o, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests["workers=8 rerun"] = resultsDigest(results)
+
+	want := digests["workers=1"]
+	for name, got := range digests {
+		if got != want {
+			t.Errorf("%s digest = %s, want %s (sequential): worker-pool execution is nondeterministic", name, got, want)
+		}
+	}
+}
+
+// TestFigureOutputDeterministic renders one figure twice and asserts the
+// byte output (what cmd/paperfig writes to stdout and -dat files) is
+// identical — the property regenerated paper figures rely on.
+func TestFigureOutputDeterministic(t *testing.T) {
+	o := tinyOptions()
+	o.N = 40
+	o.Duration = 5
+	o.Speeds = []float64{40}
+	render := func(workers int) string {
+		o.Workers = workers
+		f, err := Fig6(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.String() + "\n" + f.Dat()
+	}
+	seq, par := render(1), render(8)
+	if seq != par {
+		t.Errorf("rendered figure differs between sequential and pooled runs:\n--- workers=1\n%s\n--- workers=8\n%s", seq, par)
+	}
+}

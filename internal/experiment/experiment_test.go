@@ -143,7 +143,7 @@ func TestTable1Renders(t *testing.T) {
 		t.Fatalf("rows = %d, want 4", len(tab.Rows))
 	}
 	s := tab.String()
-	for _, p := range BaselineNames {
+	for _, p := range BaselineNames() {
 		if !strings.Contains(s, p) {
 			t.Errorf("table missing %s:\n%s", p, s)
 		}

@@ -6,14 +6,18 @@ import (
 	"mstc/internal/manet"
 )
 
-// BaselineNames are the four baseline protocols in the paper's order.
-var BaselineNames = []string{"MST", "RNG", "SPT-4", "SPT-2"}
+// BaselineNames returns the four baseline protocols in the paper's order.
+// It is a function rather than a package-level slice so no caller can
+// mutate the shared order (the global-mutable-state invariant).
+func BaselineNames() []string {
+	return []string{"MST", "RNG", "SPT-4", "SPT-2"}
+}
 
 // Table1 reproduces Table 1: average transmission range and node degree of
 // the baseline protocols (measured under negligible mobility, 1 m/s, with
 // no mechanisms — the paper's static-equivalent operating point).
 func Table1(o Options) (Table, error) {
-	aggs, err := Sweep(o, BaselineNames, []float64{1}, []manet.Mechanisms{{}})
+	aggs, err := Sweep(o, BaselineNames(), []float64{1}, []manet.Mechanisms{{}})
 	if err != nil {
 		return Table{}, err
 	}
@@ -36,7 +40,7 @@ func Table1(o Options) (Table, error) {
 // Fig6 reproduces Figure 6: connectivity ratio of the baseline protocols
 // versus average moving speed, no mechanisms.
 func Fig6(o Options) (Figure, error) {
-	aggs, err := Sweep(o, BaselineNames, o.Speeds, []manet.Mechanisms{{}})
+	aggs, err := Sweep(o, BaselineNames(), o.Speeds, []manet.Mechanisms{{}})
 	if err != nil {
 		return Figure{}, err
 	}
@@ -46,7 +50,7 @@ func Fig6(o Options) (Figure, error) {
 		YLabel: "connectivity ratio",
 	}
 	i := 0
-	for _, p := range BaselineNames {
+	for _, p := range BaselineNames() {
 		s := Series{Name: p}
 		for _, sp := range o.Speeds {
 			a := aggs[i]
@@ -94,7 +98,7 @@ func mechSweepFigure(o Options, protocol, title string, mechs []manet.Mechanisms
 // speed for each buffer-zone width, no other mechanisms.
 func Fig7(o Options) ([]Figure, error) {
 	var figs []Figure
-	for fi, p := range BaselineNames {
+	for fi, p := range BaselineNames() {
 		var mechs []manet.Mechanisms
 		for _, b := range o.Buffers {
 			mechs = append(mechs, manet.Mechanisms{Buffer: b})
@@ -120,7 +124,7 @@ func Fig8(o Options) (Figure, Figure, error) {
 	for _, b := range o.Buffers {
 		mechs = append(mechs, manet.Mechanisms{Buffer: b})
 	}
-	aggs, err := Sweep(o, BaselineNames, []float64{speed}, mechs)
+	aggs, err := Sweep(o, BaselineNames(), []float64{speed}, mechs)
 	if err != nil {
 		return Figure{}, Figure{}, err
 	}
@@ -135,7 +139,7 @@ func Fig8(o Options) (Figure, Figure, error) {
 		YLabel: "physical neighbors",
 	}
 	i := 0
-	for _, p := range BaselineNames {
+	for _, p := range BaselineNames() {
 		sa := Series{Name: p}
 		sb := Series{Name: p}
 		for _, b := range o.Buffers {
@@ -158,7 +162,7 @@ func Fig8(o Options) (Figure, Figure, error) {
 // without view synchronization, per buffer width.
 func Fig9(o Options) ([]Figure, error) {
 	var figs []Figure
-	for fi, p := range BaselineNames {
+	for fi, p := range BaselineNames() {
 		var mechs []manet.Mechanisms
 		for _, b := range o.Buffers {
 			mechs = append(mechs,
@@ -186,7 +190,7 @@ func Fig9(o Options) ([]Figure, error) {
 // per-transmission energy and control overhead of every protocol relative
 // to the uncontrolled network, at low mobility (1 m/s) with no mechanisms.
 func TableEnergy(o Options) (Table, error) {
-	names := append([]string{}, BaselineNames...)
+	names := append([]string{}, BaselineNames()...)
 	names = append(names, "none")
 	aggs, err := Sweep(o, names, []float64{1}, []manet.Mechanisms{{}})
 	if err != nil {
@@ -260,7 +264,7 @@ func FigConsistency(o Options, protocol string) (Figure, error) {
 // after enabling the physical-neighbor mechanism, per buffer width.
 func Fig10(o Options) ([]Figure, error) {
 	var figs []Figure
-	for fi, p := range BaselineNames {
+	for fi, p := range BaselineNames() {
 		var mechs []manet.Mechanisms
 		for _, b := range o.Buffers {
 			mechs = append(mechs,

@@ -2,8 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"mstc/internal/geom"
 	"mstc/internal/manet"
@@ -40,27 +38,10 @@ func FigRouting(o Options, protocol string) (Figure, error) {
 	}
 	results := make([]manet.UnicastResult, len(tasks))
 	errs := make([]error, len(tasks))
-	workers := o.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				tk := tasks[i]
-				results[i], errs[i] = runUnicastOnce(o, protocol, o.Speeds[tk.speedIdx], mechs[tk.mechIdx], tk.rep)
-			}
-		}()
-	}
-	for i := range tasks {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
+	forEachTask(o.Workers, len(tasks), func(i int) {
+		tk := tasks[i]
+		results[i], errs[i] = runUnicastOnce(o, protocol, o.Speeds[tk.speedIdx], mechs[tk.mechIdx], tk.rep)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return Figure{}, err

@@ -129,21 +129,20 @@ func (r Run) key() uint64 {
 	return k
 }
 
-// Execute runs all tasks, Workers at a time, and returns their results in
-// task order.
-func Execute(o Options, tasks []Run) ([]manet.Result, error) {
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	workers := o.Workers
+// forEachTask runs fn(i) for every i in [0, n), fanning out over up to
+// `workers` goroutines (GOMAXPROCS when workers <= 0). This is the single
+// blessed concurrency point of the repository (see internal/lint's
+// no-naked-goroutine check): replay safety holds because every task i is
+// independent, seeds its own xrand substreams, and writes only slot i of
+// the caller's result slices — so results are identical for any worker
+// count or schedule.
+func forEachTask(workers, n int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(tasks) {
-		workers = len(tasks)
+	if workers > n {
+		workers = n
 	}
-	results := make([]manet.Result, len(tasks))
-	errs := make([]error, len(tasks))
 	var wg sync.WaitGroup
 	ch := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -151,15 +150,28 @@ func Execute(o Options, tasks []Run) ([]manet.Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				results[i], errs[i] = executeOne(o, tasks[i])
+				fn(i)
 			}
 		}()
 	}
-	for i := range tasks {
+	for i := 0; i < n; i++ {
 		ch <- i
 	}
 	close(ch)
 	wg.Wait()
+}
+
+// Execute runs all tasks, Workers at a time, and returns their results in
+// task order.
+func Execute(o Options, tasks []Run) ([]manet.Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]manet.Result, len(tasks))
+	errs := make([]error, len(tasks))
+	forEachTask(o.Workers, len(tasks), func(i int) {
+		results[i], errs[i] = executeOne(o, tasks[i])
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -14,6 +14,23 @@ import (
 	"math"
 )
 
+// Eps is the default absolute tolerance for approximate float comparison:
+// coordinates are meters in a sub-kilometer arena, so 1e-9 is far below any
+// physically meaningful difference while far above accumulated rounding.
+const Eps = 1e-9
+
+// Eq reports whether a and b are equal within Eps. Use it instead of == on
+// computed floats; reserve exact comparison for deliberate sentinel checks
+// and total-order tie-breaking (and annotate those for manetlint).
+func Eq(a, b float64) bool {
+	return math.Abs(a-b) <= Eps
+}
+
+// Zero reports whether x is zero within Eps.
+func Zero(x float64) bool {
+	return math.Abs(x) <= Eps
+}
+
 // Point is a location in the 2-D plane, in meters.
 type Point struct {
 	X, Y float64
@@ -95,7 +112,7 @@ func (v Vector) Angle() float64 { return math.Atan2(v.DY, v.DX) }
 // returned unchanged.
 func (v Vector) Unit() Vector {
 	l := v.Len()
-	if l == 0 {
+	if l == 0 { //lint:ignore float-eq only the exact zero vector has no direction; near-zero vectors normalize fine
 		return v
 	}
 	return Vector{v.DX / l, v.DY / l}
@@ -187,7 +204,7 @@ func SegmentIntersection(a, b, c, d Point) (Point, bool) {
 	r := b.Sub(a)
 	s := d.Sub(c)
 	denom := r.Cross(s)
-	if denom == 0 {
+	if denom == 0 { //lint:ignore float-eq exact parallelism test; collinear overlaps are documented as non-crossing
 		return Point{}, false
 	}
 	t := c.Sub(a).Cross(s) / denom

@@ -60,7 +60,7 @@ func PrimMST(g *Undirected) (edges []Edge, spanning bool) {
 // canonical endpoint pair, giving a strict total order even with equal
 // weights.
 func less(w1 float64, a1, b1 int, w2 float64, a2, b2 int) bool {
-	if w1 != w2 {
+	if w1 != w2 { //lint:ignore float-eq exact compare is the documented strict total order over edge weights
 		return w1 < w2
 	}
 	if a1 > b1 {
@@ -93,7 +93,7 @@ type keyHeap []keyItem
 
 func (h keyHeap) Len() int { return len(h) }
 func (h keyHeap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
+	if h[i].key != h[j].key { //lint:ignore float-eq exact compare keeps the heap's total order deterministic
 		return h[i].key < h[j].key
 	}
 	return h[i].node < h[j].node
@@ -125,7 +125,7 @@ func Dijkstra(g *Undirected, src int) (dist []float64, pred []int) {
 		done[u] = true
 		for _, h := range g.Neighbors(u) {
 			nd := dist[u] + h.W
-			if nd < dist[h.To] || (nd == dist[h.To] && !done[h.To] && (pred[h.To] == -1 || u < pred[h.To])) {
+			if nd < dist[h.To] || (nd == dist[h.To] && !done[h.To] && (pred[h.To] == -1 || u < pred[h.To])) { //lint:ignore float-eq exact tie-break selects the lowest-id predecessor deterministically
 				dist[h.To] = nd
 				pred[h.To] = u
 				heap.Push(pq, keyItem{node: h.To, key: nd, from: u})

@@ -108,7 +108,7 @@ func YaoGraph(pts []geom.Point, maxRange float64, k int) *Undirected {
 				continue
 			}
 			bd2 := pts[u].Dist2(pts[best[c]])
-			if d2 < bd2 || (d2 == bd2 && v < best[c]) {
+			if d2 < bd2 || (d2 == bd2 && v < best[c]) { //lint:ignore float-eq exact tie-break selects the lowest-id neighbor deterministically
 				best[c] = v
 			}
 		}

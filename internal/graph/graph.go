@@ -200,6 +200,7 @@ func (g *Undirected) PairConnectivity() float64 {
 		sizes[c]++
 	}
 	pairs := 0
+	//lint:order-independent
 	for _, s := range sizes {
 		pairs += s * (s - 1) / 2
 	}

@@ -89,6 +89,7 @@ func (t *Table) live(h []Message, now float64) bool {
 // neighbor id.
 func (t *Table) Latest(now float64) []Message {
 	out := make([]Message, 0, len(t.m))
+	//lint:order-independent
 	for _, h := range t.m {
 		if t.live(h, now) {
 			out = append(out, h[0])
@@ -116,6 +117,7 @@ func (t *Table) History(id int, now float64) []Message {
 // performs when a data packet pins a timestamp (§4.1).
 func (t *Table) Versioned(version uint64, now float64) []Message {
 	out := make([]Message, 0, len(t.m))
+	//lint:order-independent
 	for _, h := range t.m {
 		if !t.live(h, now) {
 			continue
@@ -139,6 +141,7 @@ func (t *Table) Versioned(version uint64, now float64) []Message {
 // in the sense of Theorem 2.
 func (t *Table) AsOf(v uint64, now float64) []Message {
 	out := make([]Message, 0, len(t.m))
+	//lint:order-independent
 	for _, h := range t.m {
 		if !t.live(h, now) {
 			continue
@@ -159,6 +162,7 @@ func (t *Table) AsOf(v uint64, now float64) []Message {
 // were dropped.
 func (t *Table) GC(now float64) int {
 	dropped := 0
+	//lint:order-independent
 	for id, h := range t.m {
 		if !t.live(h, now) {
 			delete(t.m, id)

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags direct == / != between floating-point operands. Exact float
+// equality is almost always a rounding bug waiting to happen; comparisons
+// should go through the epsilon helpers in internal/geom (geom.Eq,
+// geom.Zero). The repo does contain deliberate exact comparisons — the
+// total-order tie-breaking DESIGN.md calls out, and exact-zero guards for
+// degenerate geometry — and those sites carry //lint:ignore float-eq
+// comments explaining why exactness is intended.
+var FloatEq = &Analyzer{
+	Name: "float-eq",
+	Doc:  "flag ==/!= on float operands; use geom.Eq/geom.Zero or justify exactness",
+	Run: func(p *Pass) {
+		walkFiles(p, func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(p, be.X) || isFloat(p, be.Y) {
+					p.Reportf(be.OpPos, "exact float comparison (%s); use geom.Eq/geom.Zero or document exactness with //lint:ignore float-eq", be.Op)
+				}
+				return true
+			})
+		})
+	},
+}
+
+// isFloat reports whether the expression has floating-point type (typed or
+// untyped).
+func isFloat(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GlobalMutableState flags package-level var declarations of mutable types
+// outside allowlisted files. Shared mutable globals are invisible inputs: a
+// run's result can depend on what an earlier run (or a parallel worker) left
+// behind. Immutable values (numeric, string, bool constants-by-convention)
+// are tolerated; slices, maps, channels, pointers, functions, interfaces and
+// structs containing any of those are not. Compile-time interface
+// assertions (`var _ Iface = ...`) are exempt.
+var GlobalMutableState = &Analyzer{
+	Name: "global-mutable-state",
+	Doc:  "flag package-level mutable variables; prefer constants, locals, or constructor functions",
+	Run: func(p *Pass) {
+		walkFiles(p, func(f *ast.File) {
+			if fileAllowed(p, f, p.Config.GlobalVarAllowed) {
+				return
+			}
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if name.Name == "_" {
+							continue
+						}
+						obj := p.Pkg.Info.Defs[name]
+						if obj == nil {
+							continue
+						}
+						if mutableType(obj.Type(), nil) {
+							p.Reportf(name.Pos(), "package-level mutable variable %s; use a constant, a local, or a constructor function", name.Name)
+						}
+					}
+				}
+			}
+		})
+	},
+}
+
+// mutableType reports whether a value of type t can be mutated through a
+// package-level variable (directly or via an element/field).
+func mutableType(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.Invalid || u.Kind() == types.UnsafePointer
+	case *types.Slice, *types.Map, *types.Chan, *types.Pointer, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return mutableType(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if mutableType(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// fileAllowed reports whether f's file name matches one of the allowlisted
+// module-relative paths.
+func fileAllowed(p *Pass, f *ast.File, allowlist []string) bool {
+	file := p.Pkg.Fset.Position(f.Pos()).Filename
+	for _, allowed := range allowlist {
+		if file == allowed || strings.HasSuffix(file, "/"+allowed) {
+			return true
+		}
+	}
+	return false
+}
+
+// NoNakedGoroutine bans go statements outside the allowlisted worker-pool
+// files (Config.GoroutineAllowed). Unsynchronized concurrency makes event
+// interleaving depend on the scheduler, which breaks replay; the one blessed
+// fan-out point is the experiment runner, whose workers write disjoint
+// result slots merged by task index.
+var NoNakedGoroutine = &Analyzer{
+	Name: "no-naked-goroutine",
+	Doc:  "ban go statements outside the experiment runner's worker pool",
+	Run: func(p *Pass) {
+		walkFiles(p, func(f *ast.File) {
+			if fileAllowed(p, f, p.Config.GoroutineAllowed) {
+				return
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					p.Reportf(g.Pos(), "go statement outside the allowlisted worker pool; route concurrency through experiment.Execute")
+				}
+				return true
+			})
+		})
+	},
+}

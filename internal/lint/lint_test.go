@@ -1,0 +1,354 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"testing"
+)
+
+// fixtureFallback resolves stdlib imports of in-memory fixtures by
+// type-checking GOROOT sources; shared across tests because stdlib
+// checking dominates fixture cost.
+var fixtureFallback types.Importer = importer.ForCompiler(token.NewFileSet(), "source", nil)
+
+// loadFixture parses and type-checks one in-memory file as the sole file of
+// a module package at relPath.
+func loadFixture(t *testing.T, relPath, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	pkg := &Package{
+		PkgPath: "mstc/" + relPath,
+		RelPath: relPath,
+		Fset:    fset,
+		Files:   []*ast.File{f},
+	}
+	imp := &moduleImporter{module: "mstc", loaded: map[string]*Package{}, fallback: fixtureFallback}
+	if err := typeCheck(fset, pkg, imp); err != nil {
+		t.Fatalf("typecheck fixture: %v", err)
+	}
+	return pkg
+}
+
+// keys formats diagnostics as "file:line:col: check" for exact-position
+// assertions.
+func keys(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s:%d:%d: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check))
+	}
+	return out
+}
+
+func assertDiags(t *testing.T, got []Diagnostic, want ...string) {
+	t.Helper()
+	gk := keys(got)
+	if len(gk) != len(want) {
+		t.Fatalf("got %d findings %v, want %d %v", len(gk), gk, len(want), want)
+	}
+	for i := range want {
+		if gk[i] != want[i] {
+			t.Errorf("finding %d = %q, want %q", i, gk[i], want[i])
+		}
+	}
+}
+
+func TestAnalyzers(t *testing.T) {
+	tests := []struct {
+		name     string
+		relPath  string
+		analyzer *Analyzer
+		src      string
+		want     []string
+	}{
+		{
+			name:     "wallclock flags Now Sleep Since",
+			analyzer: NoWallclock,
+			src: `package fixture
+
+import "time"
+
+func f() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(t0)
+}
+`,
+			want: []string{
+				"fixture.go:6:8: no-wallclock",
+				"fixture.go:7:2: no-wallclock",
+				"fixture.go:8:9: no-wallclock",
+			},
+		},
+		{
+			name:     "wallclock permits durations and types",
+			analyzer: NoWallclock,
+			src: `package fixture
+
+import "time"
+
+func f(d time.Duration) time.Duration {
+	var t time.Time
+	_ = t
+	return d + 2*time.Second
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "globalrand flags both rand imports",
+			analyzer: NoGlobalRand,
+			src: `package fixture
+
+import (
+	_ "crypto/rand"
+	_ "math/rand"
+)
+`,
+			want: []string{
+				"fixture.go:4:2: no-globalrand",
+				"fixture.go:5:2: no-globalrand",
+			},
+		},
+		{
+			name:     "globalrand allows the xrand package itself",
+			relPath:  "internal/xrand",
+			analyzer: NoGlobalRand,
+			src: `package fixture
+
+import _ "math/rand"
+`,
+			want: nil,
+		},
+		{
+			name:     "maporder flags unannotated loops only",
+			analyzer: MapOrder,
+			src: `package fixture
+
+func f(m map[int]int, s []int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	//lint:order-independent
+	for k := range m {
+		sum += k
+	}
+	for range m { //lint:order-independent
+		sum++
+	}
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}
+`,
+			want: []string{"fixture.go:5:2: map-order"},
+		},
+		{
+			name:     "goroutine flags go statements",
+			analyzer: NoNakedGoroutine,
+			src: `package fixture
+
+func f() {
+	go f()
+}
+`,
+			want: []string{"fixture.go:4:2: no-naked-goroutine"},
+		},
+		{
+			name:     "floateq flags float comparisons",
+			analyzer: FloatEq,
+			src: `package fixture
+
+func f(a, b float64, g float32, i, j int) bool {
+	if a == b {
+		return true
+	}
+	if a != 0 {
+		return false
+	}
+	if g == 1.5 {
+		return true
+	}
+	return i == j
+}
+`,
+			want: []string{
+				"fixture.go:4:7: float-eq",
+				"fixture.go:7:7: float-eq",
+				"fixture.go:10:7: float-eq",
+			},
+		},
+		{
+			name:     "globals flag mutable package vars",
+			analyzer: GlobalMutableState,
+			src: `package fixture
+
+type iface interface{ m() }
+
+type impl struct{}
+
+func (impl) m() {}
+
+var _ iface = impl{}
+
+var names = []string{"a"}
+
+var count = 3
+
+var registry = map[string]int{}
+
+var box = struct{ xs []int }{}
+
+const word = "w"
+`,
+			want: []string{
+				"fixture.go:11:5: global-mutable-state",
+				"fixture.go:15:5: global-mutable-state",
+				"fixture.go:17:5: global-mutable-state",
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			relPath := tt.relPath
+			if relPath == "" {
+				relPath = "internal/fixture"
+			}
+			pkg := loadFixture(t, relPath, tt.src)
+			diags := Run([]*Package{pkg}, DefaultConfig(), []*Analyzer{tt.analyzer})
+			assertDiags(t, diags, tt.want...)
+		})
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func f() {
+	_ = time.Now() //lint:ignore no-wallclock fixture demonstrates same-line suppression
+	//lint:ignore no-wallclock fixture demonstrates line-above suppression
+	_ = time.Now()
+	_ = time.Now()
+	_ = time.Now() //lint:ignore float-eq wrong check name does not suppress
+}
+`
+	pkg := loadFixture(t, "internal/fixture", src)
+	diags := Run([]*Package{pkg}, DefaultConfig(), []*Analyzer{NoWallclock})
+	assertDiags(t, diags,
+		"fixture.go:9:6: no-wallclock",
+		"fixture.go:10:6: no-wallclock",
+	)
+}
+
+func TestSuppressionRequiresReason(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func f() {
+	_ = time.Now() //lint:ignore no-wallclock
+}
+`
+	pkg := loadFixture(t, "internal/fixture", src)
+	cfg := DefaultConfig()
+	// A reasonless directive neither suppresses nor passes the audit.
+	diags := Run([]*Package{pkg}, cfg, []*Analyzer{NoWallclock})
+	assertDiags(t, diags, "fixture.go:6:6: no-wallclock")
+	bad := BadSuppressions([]*Package{pkg}, cfg)
+	assertDiags(t, bad, "fixture.go:6:17: suppression")
+}
+
+func TestGoroutineAllowlist(t *testing.T) {
+	src := `package fixture
+
+func f() {
+	go f()
+}
+`
+	pkg := loadFixture(t, "internal/fixture", src)
+	cfg := DefaultConfig()
+	cfg.GoroutineAllowed = []string{"fixture.go"}
+	diags := Run([]*Package{pkg}, cfg, []*Analyzer{NoNakedGoroutine})
+	assertDiags(t, diags)
+}
+
+func TestScope(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func f() {
+	_ = time.Now()
+}
+`
+	// Packages outside internal/ and cmd/ (e.g. examples/) are not
+	// analyzed.
+	pkg := loadFixture(t, "examples/fixture", src)
+	diags := Run([]*Package{pkg}, DefaultConfig(), []*Analyzer{NoWallclock})
+	assertDiags(t, diags)
+}
+
+func TestMatchAny(t *testing.T) {
+	tests := []struct {
+		rel      string
+		patterns []string
+		want     bool
+	}{
+		{"internal/geom", []string{"./..."}, true},
+		{"internal/geom", []string{"./internal/..."}, true},
+		{"cmd/paperfig", []string{"./internal/..."}, false},
+		{"cmd/paperfig", []string{"./internal/...", "./cmd/paperfig"}, true},
+		{"", []string{"."}, true},
+		{"internal", []string{"./internal/..."}, true},
+		{"internals", []string{"./internal/..."}, false},
+	}
+	for _, tt := range tests {
+		if got := matchAny(tt.rel, tt.patterns); got != tt.want {
+			t.Errorf("matchAny(%q, %v) = %v, want %v", tt.rel, tt.patterns, got, tt.want)
+		}
+	}
+}
+
+// TestRepositoryClean loads the whole module and asserts the tree has zero
+// findings — the same gate `make lint` enforces, kept as a test so `go
+// test ./...` alone catches regressions.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module typecheck is slow; run without -short")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, module, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, module, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("%s: type error: %v", pkg.PkgPath, terr)
+		}
+	}
+	cfg := DefaultConfig()
+	diags := Run(pkgs, cfg, AllAnalyzers())
+	diags = append(diags, BadSuppressions(pkgs, cfg)...)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

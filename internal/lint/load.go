@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked, non-test package of the module.
+type Package struct {
+	// PkgPath is the full import path, e.g. "mstc/internal/geom".
+	PkgPath string
+	// RelPath is the path relative to the module root ("" for the root
+	// package).
+	RelPath string
+	// Dir is the absolute directory.
+	Dir string
+	// Fset is the shared file set (positions for Files).
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info hold the go/types results.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker soft failures (empty on a healthy
+	// tree; fixtures in tests may tolerate some).
+	TypeErrors []error
+
+	imports []string // module-internal imports, for topological ordering
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod and returns its path and the module path declared inside.
+func FindModuleRoot(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return abs, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// Load parses and type-checks every non-test package of the module rooted
+// at root, in dependency order, and returns the ones matched by patterns
+// ("./..." for all, "./dir/..." for a subtree, "./dir" for one package).
+// All module packages are loaded regardless of patterns so that matched
+// packages type-check against real dependency information.
+func Load(root, module string, patterns []string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*Package, len(dirs))
+	var all []*Package
+	for _, dir := range dirs {
+		pkg, err := parseDir(fset, root, module, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		byPath[pkg.PkgPath] = pkg
+		all = append(all, pkg)
+	}
+
+	ordered, err := topoSort(all, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		module:   module,
+		loaded:   byPath,
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	for _, pkg := range ordered {
+		if err := typeCheck(fset, pkg, imp); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", pkg.PkgPath, err)
+		}
+	}
+
+	var out []*Package
+	for _, pkg := range ordered {
+		if matchAny(pkg.RelPath, patterns) {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// packageDirs returns every directory under root that holds non-test Go
+// files, skipping VCS metadata and testdata trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && isSourceFile(e.Name()) {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// parseDir parses one package directory; it returns nil for directories
+// whose Go files are all tests.
+func parseDir(fset *token.FileSet, root, module, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil
+	}
+
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		rel = ""
+	}
+	pkgPath := module
+	if rel != "" {
+		pkgPath = module + "/" + rel
+	}
+
+	pkg := &Package{PkgPath: pkgPath, RelPath: rel, Dir: dir, Fset: fset}
+	seen := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if (path == module || strings.HasPrefix(path, module+"/")) && !seen[path] {
+				seen[path] = true
+				pkg.imports = append(pkg.imports, path)
+			}
+		}
+	}
+	sort.Strings(pkg.imports)
+	return pkg, nil
+}
+
+// topoSort orders packages so every module-internal dependency precedes its
+// dependents.
+func topoSort(pkgs []*Package, byPath map[string]*Package) ([]*Package, error) {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on stack
+		black = 2 // done
+	)
+	state := make(map[string]int, len(pkgs))
+	var out []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.PkgPath] {
+		case gray:
+			return fmt.Errorf("lint: import cycle through %s", p.PkgPath)
+		case black:
+			return nil
+		}
+		state[p.PkgPath] = gray
+		for _, imp := range p.imports {
+			dep, ok := byPath[imp]
+			if !ok {
+				return fmt.Errorf("lint: %s imports %s, which has no source directory", p.PkgPath, imp)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[p.PkgPath] = black
+		out = append(out, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// moduleImporter resolves module-internal imports to already-checked
+// packages and everything else through the source importer (which
+// type-checks the standard library from GOROOT/src, keeping the whole
+// toolchain stdlib-only).
+type moduleImporter struct {
+	module   string
+	loaded   map[string]*Package
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.loaded[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: %s imported before it was checked", path)
+		}
+		return pkg.Types, nil
+	}
+	if path == m.module || strings.HasPrefix(path, m.module+"/") {
+		return nil, fmt.Errorf("lint: unknown module package %s", path)
+	}
+	return m.fallback.Import(path)
+}
+
+// typeCheck runs go/types over one parsed package, tolerating (but
+// recording) type errors so analyzers can still run on partial info.
+func typeCheck(fset *token.FileSet, pkg *Package, imp types.Importer) error {
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(pkg.PkgPath, fset, pkg.Files, info)
+	if tpkg == nil {
+		return err
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// matchAny reports whether a module-relative package path matches any of
+// the patterns. Supported: "./..." (everything), "./dir/..." (subtree),
+// "./dir" or "dir" (exact), "." (root package).
+func matchAny(rel string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		pat = strings.TrimPrefix(pat, "./")
+		switch {
+		case pat == "...":
+			return true
+		case pat == "." || pat == "":
+			if rel == "" {
+				return true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			if rel == base || strings.HasPrefix(rel, base+"/") {
+				return true
+			}
+		default:
+			if rel == strings.TrimSuffix(pat, "/") {
+				return true
+			}
+		}
+	}
+	return false
+}

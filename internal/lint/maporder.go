@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// OrderIndependentDirective is the annotation asserting that a
+// range-over-map loop's effect does not depend on iteration order.
+const OrderIndependentDirective = "//lint:order-independent"
+
+// MapOrder flags `for range` loops over map-typed values. Go randomizes map
+// iteration order per run, so any such loop whose body can reach results is
+// a nondeterminism hazard. The fix is to collect and sort the keys and range
+// over the slice; loops whose bodies genuinely commute (pure sums, deletes,
+// building a slice that is sorted afterwards) carry the
+// //lint:order-independent annotation on the loop line or the line above,
+// which this analyzer verifies is present.
+var MapOrder = &Analyzer{
+	Name: "map-order",
+	Doc:  "flag range-over-map loops unless sorted keys are used or the loop is annotated order-independent",
+	Run: func(p *Pass) {
+		annotated := annotatedLines(p.Pkg, OrderIndependentDirective)
+		walkFiles(p, func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Pkg.Info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				pos := p.Pkg.Fset.Position(rs.For)
+				if annotated[pos.Filename][pos.Line] {
+					return true
+				}
+				p.Reportf(rs.For, "map iteration order is randomized; sort the keys first or annotate the loop with %s", OrderIndependentDirective)
+				return true
+			})
+		})
+	},
+}

@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// randBanned are the import paths that introduce nondeterministic or
+// globally seeded randomness. All simulation randomness must flow from
+// seeded xrand.Source substreams so repetitions replay bit-for-bit.
+var randBanned = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// NoGlobalRand bans math/rand and crypto/rand imports outside the
+// deterministic-PRNG package itself (Config.RandAllowed).
+var NoGlobalRand = &Analyzer{
+	Name: "no-globalrand",
+	Doc:  "ban math/rand and crypto/rand imports; use seeded xrand.Source substreams",
+	Run: func(p *Pass) {
+		for _, allowed := range p.Config.RandAllowed {
+			if p.Pkg.RelPath == allowed {
+				return
+			}
+		}
+		walkFiles(p, func(f *ast.File) {
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if randBanned[path] {
+					p.Reportf(spec.Pos(), "import %q is banned; derive randomness from xrand.Source substreams", path)
+				}
+			}
+		})
+	},
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockBanned are the package-time functions that read or depend on the
+// host clock. Simulated time comes from internal/sim's virtual clock; a
+// wall-clock read makes output depend on host scheduling and run date.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallclock bans wall-clock reads (time.Now, time.Since, time.Sleep, and
+// friends) in simulation code. Durations and the time.Time type itself stay
+// legal: only host-clock *reads* break replay.
+var NoWallclock = &Analyzer{
+	Name: "no-wallclock",
+	Doc:  "ban time.Now/Since/Sleep etc.; simulated time comes from internal/sim",
+	Run: func(p *Pass) {
+		walkFiles(p, func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !wallclockBanned[sel.Sel.Name] {
+					return true
+				}
+				obj := p.Pkg.Info.Uses[sel.Sel]
+				if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+					p.Reportf(sel.Pos(), "time.%s reads the wall clock; use the simulation clock (internal/sim) or inject a clock", sel.Sel.Name)
+				}
+				return true
+			})
+		})
+	},
+}

@@ -129,32 +129,25 @@ type Config struct {
 	Seed uint64
 }
 
+// defaultf returns v, or def when v is unset. The zero value is the "use
+// the paper's default" sentinel, so the comparison is exact by construction.
+func defaultf(v, def float64) float64 {
+	if v == 0 { //lint:ignore float-eq zero value is the unset sentinel, exact by construction
+		return def
+	}
+	return v
+}
+
 // withDefaults returns c with unset fields defaulted to the paper's values.
 func (c Config) withDefaults() Config {
-	if c.NormalRange == 0 {
-		c.NormalRange = 250
-	}
-	if c.HelloMin == 0 {
-		c.HelloMin = 0.75
-	}
-	if c.HelloMax == 0 {
-		c.HelloMax = 1.25
-	}
-	if c.HelloExpiry == 0 {
-		c.HelloExpiry = 2 * c.HelloMax
-	}
-	if c.FloodSettle == 0 {
-		c.FloodSettle = 0.5
-	}
-	if c.ForwardJitterMax == 0 {
-		c.ForwardJitterMax = 0.001
-	}
-	if c.SampleRate == 0 {
-		c.SampleRate = 10
-	}
-	if c.EnergyAlpha == 0 {
-		c.EnergyAlpha = 2
-	}
+	c.NormalRange = defaultf(c.NormalRange, 250)
+	c.HelloMin = defaultf(c.HelloMin, 0.75)
+	c.HelloMax = defaultf(c.HelloMax, 1.25)
+	c.HelloExpiry = defaultf(c.HelloExpiry, 2*c.HelloMax)
+	c.FloodSettle = defaultf(c.FloodSettle, 0.5)
+	c.ForwardJitterMax = defaultf(c.ForwardJitterMax, 0.001)
+	c.SampleRate = defaultf(c.SampleRate, 10)
+	c.EnergyAlpha = defaultf(c.EnergyAlpha, 2)
 	return c
 }
 

@@ -31,7 +31,7 @@ type EpidemicConfig struct {
 }
 
 func (c EpidemicConfig) withDefaults() EpidemicConfig {
-	if c.Check == 0 {
+	if c.Check == 0 { //lint:ignore float-eq zero value is the unset sentinel, exact by construction
 		c.Check = 0.25
 	}
 	return c

@@ -346,13 +346,13 @@ func reflectTime(arena geom.Rect, p geom.Point, v geom.Vector, dur float64) (hit
 	if v.DY > 0 {
 		if f := (arena.Max.Y - p.Y) / (v.DY * dur); f < frac {
 			frac, hit = f, 2
-		} else if f == frac && hit == 1 {
+		} else if f == frac && hit == 1 { //lint:ignore float-eq exact equality is what distinguishes a corner hit from two wall hits
 			hit = 3 // corner
 		}
 	} else if v.DY < 0 {
 		if f := (arena.Min.Y - p.Y) / (v.DY * dur); f < frac {
 			frac, hit = f, 2
-		} else if f == frac && hit == 1 {
+		} else if f == frac && hit == 1 { //lint:ignore float-eq exact equality is what distinguishes a corner hit from two wall hits
 			hit = 3
 		}
 	}

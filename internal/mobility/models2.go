@@ -154,7 +154,7 @@ type GaussMarkov struct {
 
 // NewGaussMarkov generates Gauss–Markov trajectories.
 func NewGaussMarkov(arena geom.Rect, cfg GaussMarkovConfig, rng *xrand.Source) (*GaussMarkov, error) {
-	if cfg.Step == 0 {
+	if cfg.Step == 0 { //lint:ignore float-eq zero value is the unset sentinel, exact by construction
 		cfg.Step = 1
 	}
 	if err := cfg.Validate(); err != nil {
@@ -164,7 +164,7 @@ func NewGaussMarkov(arena geom.Rect, cfg GaussMarkovConfig, rng *xrand.Source) (
 		return nil, fmt.Errorf("mobility: empty arena")
 	}
 	maxSpeed := cfg.MeanSpeed + 4*cfg.SpeedSigma/math.Max(1e-9, math.Sqrt(1-cfg.Alpha*cfg.Alpha+1e-12))
-	if cfg.Alpha == 1 || cfg.SpeedSigma == 0 {
+	if cfg.Alpha == 1 || cfg.SpeedSigma == 0 { //lint:ignore float-eq exact sentinel values select the degenerate constant-speed regime
 		maxSpeed = cfg.MeanSpeed
 	}
 	m := &GaussMarkov{

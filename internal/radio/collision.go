@@ -51,7 +51,7 @@ func (m *Medium) Transmit(t float64, sender int, r float64, dst []int) (Tx, []in
 // (tx.at + TxDuration); transmissions logged after that instant do not
 // retroactively interfere.
 func (m *Medium) Collides(tx Tx, receiver int) bool {
-	if m.cfg.TxDuration == 0 {
+	if m.cfg.TxDuration == 0 { //lint:ignore float-eq zero value disables the collision MAC, exact by construction
 		return false
 	}
 	for i := range m.txLog {

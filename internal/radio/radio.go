@@ -36,7 +36,7 @@ type Config struct {
 }
 
 func (c *Config) setDefaults() {
-	if c.Cell == 0 {
+	if c.Cell == 0 { //lint:ignore float-eq zero value is the unset sentinel, exact by construction
 		c.Cell = 125
 	}
 }
@@ -104,7 +104,7 @@ func (m *Medium) PositionsAt(t float64) []geom.Point {
 }
 
 func (m *Medium) refresh(t float64) {
-	if m.fresh && m.at == t {
+	if m.fresh && m.at == t { //lint:ignore float-eq cache key: positions were built at exactly this simulated instant
 		return
 	}
 	for id := range m.pos {

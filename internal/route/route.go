@@ -53,7 +53,7 @@ func New(pts []geom.Point, adjacency [][]int) (*Router, error) {
 		sort.Slice(r.adj[u], func(a, b int) bool {
 			pa := r.angleOf(u, r.adj[u][a])
 			pb := r.angleOf(u, r.adj[u][b])
-			if pa != pb {
+			if pa != pb { //lint:ignore float-eq exact compare is the angular total order; ties fall through to ids
 				return pa < pb
 			}
 			return r.adj[u][a] < r.adj[u][b]
@@ -262,7 +262,7 @@ func (r *Router) Stretch(path []int) float64 {
 		return 1
 	}
 	direct := r.pts[path[0]].Dist(r.pts[path[len(path)-1]])
-	if direct == 0 {
+	if direct == 0 { //lint:ignore float-eq exact guard against dividing by a zero baseline distance
 		return math.Inf(1)
 	}
 	return r.PathLength(path) / direct

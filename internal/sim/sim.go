@@ -32,7 +32,7 @@ type eventHeap []item
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
+	if h[i].at != h[j].at { //lint:ignore float-eq exact compare orders events; equal timestamps fall through to FIFO seq
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq

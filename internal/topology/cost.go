@@ -39,7 +39,7 @@ func EnergyCost(alpha, fixed float64) CostFn {
 // break a tie"). A strict total order is what makes simultaneous link
 // removals safe in Theorem 1's proof.
 func LinkLess(c1 float64, u1, v1 int, c2 float64, u2, v2 int) bool {
-	if c1 != c2 {
+	if c1 != c2 { //lint:ignore float-eq exact compare is Theorem 1's strict total order over link costs
 		return c1 < c2
 	}
 	if u1 > v1 {

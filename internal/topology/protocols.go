@@ -129,7 +129,7 @@ type SPT struct {
 
 // Name implements Protocol.
 func (s SPT) Name() string {
-	if s.Alpha == float64(int(s.Alpha)) {
+	if s.Alpha == float64(int(s.Alpha)) { //lint:ignore float-eq exact integrality test for display names only
 		return fmt.Sprintf("SPT-%d", int(s.Alpha))
 	}
 	return fmt.Sprintf("SPT-%g", s.Alpha)

@@ -75,7 +75,7 @@ const rangeSlack = 1 + 1e-9
 // float-rounding robustness at the boundary. A node with no logical
 // neighbors (actual == 0) stays silent.
 func ExtendedRange(actual, buffer, normal float64) float64 {
-	if actual == 0 {
+	if actual == 0 { //lint:ignore float-eq exact sentinel: a node with no selected neighbors stays silent
 		// No logical neighbors selected: nothing to cover.
 		return 0
 	}

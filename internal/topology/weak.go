@@ -94,7 +94,7 @@ type WeakSPT struct {
 
 // Name implements WeakProtocol.
 func (s WeakSPT) Name() string {
-	if s.Alpha == float64(int(s.Alpha)) {
+	if s.Alpha == float64(int(s.Alpha)) { //lint:ignore float-eq exact integrality test for display names only
 		return fmt.Sprintf("wSPT-%d", int(s.Alpha))
 	}
 	return fmt.Sprintf("wSPT-%g", s.Alpha)
@@ -247,7 +247,7 @@ type f64Heap []f64Item
 
 func (h f64Heap) Len() int { return len(h) }
 func (h f64Heap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
+	if h[i].key != h[j].key { //lint:ignore float-eq exact compare keeps the heap's total order deterministic
 		return h[i].key < h[j].key
 	}
 	return h[i].node < h[j].node

@@ -53,7 +53,7 @@ func (s Scene) Render(w io.Writer) error {
 		return fmt.Errorf("viz: %d ranges for %d points", len(s.Ranges), len(s.Points))
 	}
 	nodeR := s.NodeRadius
-	if nodeR == 0 {
+	if nodeR == 0 { //lint:ignore float-eq zero value is the unset sentinel, exact by construction
 		nodeR = 6
 	}
 	const margin = 20.0
@@ -86,7 +86,7 @@ func (s Scene) Render(w io.Writer) error {
 			dash = ` stroke-dasharray="8 6"`
 		}
 		width := l.Width
-		if width == 0 {
+		if width == 0 { //lint:ignore float-eq zero value is the unset sentinel, exact by construction
 			width = 1.5
 		}
 		pr(`<g stroke="%s" stroke-width="%.1f"%s>`+"\n", l.Color, width, dash)

@@ -1,0 +1,90 @@
+package xrand
+
+import (
+	"fmt"
+	"testing"
+)
+
+// prefix returns the first n draws of a source as a comparable string key.
+func prefix(s *Source, n int) string {
+	out := make([]byte, 0, n*17)
+	for i := 0; i < n; i++ {
+		out = fmt.Appendf(out, "%016x.", s.Uint64())
+	}
+	return string(out)
+}
+
+// TestSubstreamIndependence derives one substream per (run, node, purpose)
+// label triple — the exact keying the experiment runner uses — and asserts
+// that no two distinct triples produce the same draw sequence for the first
+// N draws. A collision would silently correlate repetitions (or nodes) and
+// invalidate the confidence intervals of every figure.
+func TestSubstreamIndependence(t *testing.T) {
+	const (
+		runs  = 8
+		nodes = 12
+		draws = 32
+	)
+	purposes := []uint64{'m', 'n', 'u'} // mobility, network, unicast
+	root := New(2004)
+	seen := make(map[string]string, runs*nodes*len(purposes))
+	for run := uint64(0); run < runs; run++ {
+		for node := uint64(0); node < nodes; node++ {
+			for _, purpose := range purposes {
+				label := fmt.Sprintf("run=%d node=%d purpose=%c", run, node, purpose)
+				key := prefix(root.Sub(purpose, run, node), draws)
+				if prev, dup := seen[key]; dup {
+					t.Fatalf("substream collision: %s and %s share the first %d draws", prev, label, draws)
+				}
+				seen[key] = label
+			}
+		}
+	}
+	// The root stream itself must not collide with any substream either.
+	if prev, dup := seen[prefix(New(2004), draws)]; dup {
+		t.Fatalf("root stream collides with substream %s", prev)
+	}
+}
+
+// TestSubDerivationOrderIrrelevant asserts a substream's draws depend only
+// on (root seed, labels) — never on when it was derived relative to parent
+// draws or to sibling derivations. This is what lets worker-pool tasks
+// derive their streams in any scheduling order and still replay
+// bit-for-bit.
+func TestSubDerivationOrderIrrelevant(t *testing.T) {
+	const draws = 64
+	want := prefix(New(7).Sub(1, 2, 3), draws)
+
+	// Derive after the parent has drawn values.
+	root := New(7)
+	for i := 0; i < 1000; i++ {
+		root.Uint64()
+	}
+	if got := prefix(root.Sub(1, 2, 3), draws); got != want {
+		t.Error("derivation after parent draws changed the substream")
+	}
+
+	// Derive after (and interleaved with) sibling substreams.
+	root = New(7)
+	sibA := root.Sub(9)
+	sibA.Uint64()
+	sibB := root.Sub(1, 2, 4)
+	got := root.Sub(1, 2, 3)
+	sibB.Uint64()
+	if prefix(got, draws) != want {
+		t.Error("sibling derivations changed the substream")
+	}
+}
+
+// TestSubLabelOrderMatters asserts Sub(a, b) and Sub(b, a) are distinct
+// streams: labels are positional coordinates, not a set.
+func TestSubLabelOrderMatters(t *testing.T) {
+	const draws = 32
+	root := New(11)
+	if prefix(root.Sub(1, 2), draws) == prefix(root.Sub(2, 1), draws) {
+		t.Error("Sub label order does not distinguish streams")
+	}
+	if prefix(root.Sub(1), draws) == prefix(root.Sub(1, 0), draws) {
+		t.Error("Sub(1) and Sub(1, 0) must be distinct streams")
+	}
+}
