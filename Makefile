@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check
+.PHONY: build test race vet lint check bench
 
 build:
 	$(GO) build ./...
@@ -20,5 +20,10 @@ vet:
 
 lint:
 	$(GO) run ./cmd/manetlint ./...
+
+# One iteration of every benchmark (smoke pass), rendered to BENCH.json by
+# cmd/benchreport. CI runs this and uploads the report as an artifact.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | tee /dev/stderr | $(GO) run ./cmd/benchreport -o BENCH.json
 
 check: build vet lint test race

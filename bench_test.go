@@ -47,6 +47,7 @@ func benchOptions() experiment.Options {
 // BenchmarkTable1 regenerates Table 1 (baseline transmission range and node
 // degree).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		tab, err := experiment.Table1(o)
@@ -61,6 +62,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkFig6 regenerates Figure 6 (baseline connectivity vs speed).
 func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	var fig experiment.Figure
 	for i := 0; i < b.N; i++ {
@@ -76,6 +78,7 @@ func BenchmarkFig6(b *testing.B) {
 // BenchmarkFig7 regenerates Figure 7 (connectivity vs speed per buffer
 // width, all four protocols).
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		figs, err := experiment.Fig7(o)
@@ -91,6 +94,7 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkFig8 regenerates Figure 8 (range and physical degree vs buffer
 // width).
 func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	var fa experiment.Figure
 	for i := 0; i < b.N; i++ {
@@ -108,6 +112,7 @@ func BenchmarkFig8(b *testing.B) {
 
 // BenchmarkFig9 regenerates Figure 9 (view synchronization).
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		figs, err := experiment.Fig9(o)
@@ -122,6 +127,7 @@ func BenchmarkFig9(b *testing.B) {
 
 // BenchmarkFig10 regenerates Figure 10 (physical neighbors).
 func BenchmarkFig10(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		figs, err := experiment.Fig10(o)
@@ -163,6 +169,7 @@ func runOnce(b *testing.B, speed float64, cfg manet.Config) manet.Result {
 // BenchmarkSingleRun measures one full 100-node simulation (the unit of
 // every experiment).
 func BenchmarkSingleRun(b *testing.B) {
+	b.ReportAllocs()
 	var res manet.Result
 	for i := 0; i < b.N; i++ {
 		res = runOnce(b, 40, manet.Config{
@@ -176,8 +183,10 @@ func BenchmarkSingleRun(b *testing.B) {
 // paper's {1, 10, 100} to locate the knee of the connectivity/power
 // trade-off.
 func BenchmarkAblationBufferWidth(b *testing.B) {
+	b.ReportAllocs()
 	for _, buf := range []float64{0, 1, 3, 10, 30, 100} {
 		b.Run(fmt.Sprintf("buf=%gm", buf), func(b *testing.B) {
+			b.ReportAllocs()
 			var res manet.Result
 			for i := 0; i < b.N; i++ {
 				res = runOnce(b, 40, manet.Config{
@@ -194,8 +203,10 @@ func BenchmarkAblationBufferWidth(b *testing.B) {
 // BenchmarkAblationWeakK sweeps the number of stored "Hello" versions for
 // weak-consistency selection (Theorem 3 says 2–3 suffice).
 func BenchmarkAblationWeakK(b *testing.B) {
+	b.ReportAllocs()
 	for _, k := range []int{1, 2, 3, 5} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			var res manet.Result
 			for i := 0; i < b.N; i++ {
 				res = runOnce(b, 20, manet.Config{
@@ -212,8 +223,10 @@ func BenchmarkAblationWeakK(b *testing.B) {
 // BenchmarkAblationHelloInterval sweeps the beaconing rate: shorter
 // intervals cannot fix inconsistency (§3.2) but do reduce staleness.
 func BenchmarkAblationHelloInterval(b *testing.B) {
+	b.ReportAllocs()
 	for _, iv := range []float64{0.5, 1.0, 2.0} {
 		b.Run(fmt.Sprintf("interval=%gs", iv), func(b *testing.B) {
+			b.ReportAllocs()
 			var res manet.Result
 			for i := 0; i < b.N; i++ {
 				res = runOnce(b, 40, manet.Config{
@@ -232,8 +245,10 @@ func BenchmarkAblationHelloInterval(b *testing.B) {
 // collision model at increasing airtimes (the paper's future-work
 // realism knob).
 func BenchmarkAblationCollisionMAC(b *testing.B) {
+	b.ReportAllocs()
 	for _, txDur := range []float64{0, 0.0005, 0.001, 0.005} {
 		b.Run(fmt.Sprintf("airtime=%gs", txDur), func(b *testing.B) {
+			b.ReportAllocs()
 			var res manet.Result
 			for i := 0; i < b.N; i++ {
 				res = runOnce(b, 20, manet.Config{
@@ -249,6 +264,7 @@ func BenchmarkAblationCollisionMAC(b *testing.B) {
 
 // BenchmarkEpidemic measures the store-carry-forward dissemination layer.
 func BenchmarkEpidemic(b *testing.B) {
+	b.ReportAllocs()
 	lo, hi := mobility.SpeedSetdest(20)
 	model, err := mobility.NewRandomWaypoint(geom.Square(900), mobility.WaypointConfig{
 		N: 100, SpeedMin: lo, SpeedMax: hi, Horizon: 20,
@@ -275,8 +291,10 @@ func BenchmarkEpidemic(b *testing.B) {
 // BenchmarkAblationSelfPruning measures the forwarding-overhead reduction
 // of neighborhood-aware self-pruning at two densities.
 func BenchmarkAblationSelfPruning(b *testing.B) {
+	b.ReportAllocs()
 	for _, prune := range []bool{false, true} {
 		b.Run(fmt.Sprintf("prune=%v", prune), func(b *testing.B) {
+			b.ReportAllocs()
 			var res manet.Result
 			for i := 0; i < b.N; i++ {
 				res = runOnce(b, 1, manet.Config{
@@ -293,6 +311,7 @@ func BenchmarkAblationSelfPruning(b *testing.B) {
 // BenchmarkGeoRouting measures greedy and GFG routing over a Gabriel
 // topology snapshot.
 func BenchmarkGeoRouting(b *testing.B) {
+	b.ReportAllocs()
 	pts := mobility.UniformPoints(geom.Square(900), 100, xrand.New(1))
 	sel := snapshot.Selections(pts, topology.Gabriel{}, 250)
 	lg := snapshot.Logical(pts, sel)
@@ -307,11 +326,13 @@ func BenchmarkGeoRouting(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("greedy", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			r.Greedy(i%100, (i*37+13)%100)
 		}
 	})
 	b.Run("gfg", func(b *testing.B) {
+		b.ReportAllocs()
 		delivered := 0
 		for i := 0; i < b.N; i++ {
 			if _, ok := r.GFG(i%100, (i*37+13)%100); ok {
@@ -325,9 +346,11 @@ func BenchmarkGeoRouting(b *testing.B) {
 // BenchmarkAblationGridCell measures the spatial index's cell-size
 // trade-off on the radio's hot query.
 func BenchmarkAblationGridCell(b *testing.B) {
+	b.ReportAllocs()
 	pts := mobility.UniformPoints(geom.Square(900), 100, xrand.New(1))
 	for _, cell := range []float64{25, 50, 125, 250, 500} {
 		b.Run(fmt.Sprintf("cell=%gm", cell), func(b *testing.B) {
+			b.ReportAllocs()
 			ix := spatial.MustIndex(geom.Square(900), cell)
 			ix.Build(pts)
 			buf := make([]int, 0, 64)
@@ -342,6 +365,7 @@ func BenchmarkAblationGridCell(b *testing.B) {
 // BenchmarkParallelRuns compares sequential and parallel execution of the
 // same 8-run sweep (the experiment package's worker pool).
 func BenchmarkParallelRuns(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOptions()
 	o.Reps = 4
 	tasks := make([]experiment.Run, 0, 8)
@@ -352,6 +376,7 @@ func BenchmarkParallelRuns(b *testing.B) {
 	}
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			o := o
 			o.Workers = workers
 			for i := 0; i < b.N; i++ {

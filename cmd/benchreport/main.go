@@ -1,0 +1,136 @@
+// Command benchreport converts `go test -bench` output into a stable JSON
+// report: one entry per benchmark with ns/op, allocs/op, B/op, and every
+// custom metric the benchmark reported (conn/ratio, m/range, ...).
+//
+// It is a plain filter so it composes with the test runner instead of
+// re-implementing it:
+//
+//	go test -bench . -benchtime 1x | benchreport -o BENCH.json
+//	go test -bench SingleRun -count 3 | benchreport
+//
+// Entries are sorted by name and the GOMAXPROCS suffix ("-8") is stripped,
+// so reports from machines with different core counts diff cleanly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result. Repeated runs of the same benchmark
+// (-count > 1) produce repeated entries.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchreport: ")
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines on stdin (pipe `go test -bench` output in)")
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parse extracts benchmark result lines from `go test -bench` output. A
+// result line is tab-separated: name, iteration count, then "value unit"
+// pairs.
+func parse(sc *bufio.Scanner) (Report, error) {
+	var r Report
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 3 {
+			continue
+		}
+		e := Entry{Name: trimCPUSuffix(strings.TrimSpace(fields[0]))}
+		iters, err := strconv.ParseInt(strings.TrimSpace(fields[1]), 10, 64)
+		if err != nil {
+			continue // a log line that happens to start with "Benchmark"
+		}
+		e.Iterations = iters
+		for _, f := range fields[2:] {
+			parts := strings.Fields(f)
+			if len(parts) != 2 {
+				continue
+			}
+			val, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				return r, fmt.Errorf("bad value in %q: %v", line, err)
+			}
+			switch unit := parts[1]; unit {
+			case "ns/op":
+				e.NsPerOp = val
+			case "B/op":
+				e.BytesPerOp = val
+			case "allocs/op":
+				e.AllocsPerOp = val
+			default:
+				if e.Metrics == nil {
+					e.Metrics = make(map[string]float64)
+				}
+				e.Metrics[unit] = val
+			}
+		}
+		r.Benchmarks = append(r.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		return r, err
+	}
+	sort.SliceStable(r.Benchmarks, func(i, j int) bool {
+		return r.Benchmarks[i].Name < r.Benchmarks[j].Name
+	})
+	return r, nil
+}
+
+// trimCPUSuffix drops the trailing "-N" GOMAXPROCS marker from a benchmark
+// name, if present.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

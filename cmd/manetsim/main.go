@@ -22,6 +22,7 @@ import (
 	"mstc/internal/geom"
 	"mstc/internal/manet"
 	"mstc/internal/mobility"
+	"mstc/internal/profiling"
 	"mstc/internal/radio"
 	"mstc/internal/topology"
 	"mstc/internal/trace"
@@ -61,8 +62,23 @@ func main() {
 		churnDown    = flag.Float64("churn-down", 0, "mean node outage (s)")
 		recordPath   = flag.String("record", "", "record the mobility trace to this file and exit")
 		replayPath   = flag.String("replay", "", "replay a recorded mobility trace instead of random waypoint")
+		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf      = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Profiles go to their own files; stdout stays byte-identical whether
+	// or not profiling is enabled.
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopCPU()
 
 	var model mobility.Model
 	if *replayPath != "" {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mstc/internal/experiment"
+	"mstc/internal/profiling"
 )
 
 func main() {
@@ -33,8 +34,23 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel runs (default GOMAXPROCS)")
 		datDir   = flag.String("dat", "", "also write gnuplot-ready .dat/.txt files into this directory")
 		timing   = flag.Bool("timing", false, "report wall-clock duration per experiment on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Profiles go to their own files; stdout stays byte-identical whether
+	// or not profiling is enabled.
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopCPU()
 
 	// Figure output (stdout and -dat files) must be byte-identical across
 	// regenerations with the same seed, so no wall-clock value may reach

@@ -84,3 +84,40 @@ func TestFigureOutputDeterministic(t *testing.T) {
 		t.Errorf("rendered figure differs between sequential and pooled runs:\n--- workers=1\n%s\n--- workers=8\n%s", seq, par)
 	}
 }
+
+// TestDigestUnchangedByStalenessCache pins the radio medium's
+// bounded-staleness contract at the whole-experiment level: running the
+// same tasks with the spatial-grid cache enabled (default slack, and an
+// oversized one) and disabled (negative slack: exact-instant rebuilds)
+// must produce sha256-identical results. The cache may only trade grid
+// rebuilds against candidate filtering — never receiver sets, never
+// randomness consumption, never a single metric bit.
+func TestDigestUnchangedByStalenessCache(t *testing.T) {
+	o := tinyOptions()
+	o.N = 40
+	o.Duration = 8
+	var tasks []Run
+	for _, speed := range []float64{1, 160} {
+		for rep := 0; rep < 2; rep++ {
+			tasks = append(tasks, Run{Protocol: "RNG", Speed: speed, Rep: rep})
+			tasks = append(tasks, Run{Protocol: "MST", Speed: speed, Mech: manet.Mechanisms{Buffer: 10, ViewSync: true}, Rep: rep})
+		}
+	}
+
+	digest := func(slack float64) string {
+		o := o
+		o.Radio.Slack = slack
+		results, err := Execute(o, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resultsDigest(results)
+	}
+
+	want := digest(-1) // staleness disabled: the exact-instant reference
+	for _, slack := range []float64{0, 500} {
+		if got := digest(slack); got != want {
+			t.Errorf("slack %g digest = %s, want %s (exact-instant): the staleness cache changed results", slack, got, want)
+		}
+	}
+}

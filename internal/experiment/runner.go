@@ -19,6 +19,7 @@ import (
 
 	"mstc/internal/manet"
 	"mstc/internal/mobility"
+	"mstc/internal/radio"
 	"mstc/internal/stats"
 	"mstc/internal/topology"
 	"mstc/internal/xrand"
@@ -49,6 +50,10 @@ type Options struct {
 	Seed uint64
 	// Workers bounds run concurrency; 0 means GOMAXPROCS.
 	Workers int
+	// Radio overrides the radio medium configuration (zero value: the
+	// medium's defaults). Results are independent of the bounded-staleness
+	// knob Radio.Slack by construction; the determinism tests pin that.
+	Radio radio.Config
 }
 
 // DefaultOptions returns the paper's configuration (§5.1).
@@ -197,6 +202,7 @@ func executeOne(o Options, r Run) (manet.Result, error) {
 		NormalRange: o.NormalRange,
 		Mech:        r.Mech,
 		FloodRate:   o.FloodRate,
+		Radio:       o.Radio,
 		Seed:        xrand.New(o.Seed).Sub('n', r.key(), uint64(r.Rep)).Uint64(),
 	}
 	if r.Mech.WeakK > 0 {

@@ -10,7 +10,6 @@ package hello
 
 import (
 	"fmt"
-	"sort"
 
 	"mstc/internal/geom"
 )
@@ -33,10 +32,21 @@ type Message struct {
 // Table is one node's neighbor table. It stores up to K recent messages per
 // neighbor (newest first) and expires neighbors whose newest message is
 // older than Expiry.
+//
+// Two backing representations share the same semantics: NewTable builds a
+// map-keyed table accepting arbitrary sender ids, and NewTableN builds a
+// dense table preallocated for ids in [0, n) — one flat backing array, no
+// per-sender allocation on first contact and none in steady state, with
+// ascending-id iteration falling out of the layout instead of a sort. The
+// simulator uses the dense form (senders are node indices); the map form
+// remains for callers without a known id universe.
 type Table struct {
 	k      int
 	expiry float64
-	m      map[int][]Message
+	m      map[int][]Message // nil iff dense
+	dense  [][]Message       // per-id history views into store (dense form)
+	store  []Message         // flat backing, n slots of capacity k+1
+	live_  int               // dense form: number of non-empty histories
 }
 
 // NewTable creates a table keeping k >= 1 recent messages per neighbor;
@@ -49,36 +59,107 @@ func NewTable(k int, expiry float64) *Table {
 	return &Table{k: k, expiry: expiry, m: make(map[int][]Message)}
 }
 
+// NewTableN creates a dense table for sender ids in [0, n): all storage is
+// preallocated, so Observe never allocates. Observing an id outside [0, n)
+// panics.
+func NewTableN(k int, expiry float64, n int) *Table {
+	if k < 1 {
+		panic(fmt.Sprintf("hello: table with k = %d", k))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("hello: table with n = %d", n))
+	}
+	// The capacity bound keeps a slot's append from spilling into its
+	// neighbor; Observe inserts in place once a slot is full, so capacity
+	// k suffices.
+	t := &Table{k: k, expiry: expiry, dense: make([][]Message, n), store: make([]Message, n*k)}
+	for i := range t.dense {
+		t.dense[i] = t.store[i*k : i*k : (i+1)*k]
+	}
+	return t
+}
+
 // K returns the per-neighbor history depth.
 func (t *Table) K() int { return t.k }
+
+// history returns the stored (possibly expired) history for id, or nil.
+func (t *Table) history(id int) []Message {
+	if t.m != nil {
+		return t.m[id]
+	}
+	if id < 0 || id >= len(t.dense) {
+		return nil
+	}
+	return t.dense[id]
+}
+
+// setHistory stores the updated history for id.
+func (t *Table) setHistory(id int, h []Message) {
+	if t.m != nil {
+		t.m[id] = h
+		return
+	}
+	if len(t.dense[id]) == 0 && len(h) > 0 {
+		t.live_++
+	} else if len(t.dense[id]) > 0 && len(h) == 0 {
+		t.live_--
+	}
+	t.dense[id] = h
+}
 
 // Observe records a received message, evicting the oldest stored message
 // from the same sender beyond the history depth. Messages may arrive out
 // of order; the table keeps the k highest versions. A duplicate version
 // replaces the stored copy.
 func (t *Table) Observe(msg Message) {
-	h := t.m[msg.From]
-	// Insert by descending version.
-	idx := sort.Search(len(h), func(i int) bool { return h[i].Version <= msg.Version })
-	if idx < len(h) && h[idx].Version == msg.Version {
-		h[idx] = msg
-	} else {
+	h := t.history(msg.From)
+	if t.m == nil && (msg.From < 0 || msg.From >= len(t.dense)) {
+		panic(fmt.Sprintf("hello: dense table for %d senders observed id %d", len(t.dense), msg.From))
+	}
+	// Insert by descending version. Linear scan: h holds at most k entries
+	// (small), so this beats sort.Search's closure calls on the hot path.
+	idx := 0
+	for idx < len(h) && h[idx].Version > msg.Version {
+		idx++
+	}
+	switch {
+	case idx < len(h) && h[idx].Version == msg.Version:
+		h[idx] = msg // duplicate version: replace in place
+	case len(h) < t.k:
 		h = append(h, Message{})
 		copy(h[idx+1:], h[idx:])
 		h[idx] = msg
+	case idx < t.k:
+		// Full history: shift the tail right in place, dropping the
+		// lowest stored version — equivalent to insert-then-truncate but
+		// without growing past capacity k.
+		copy(h[idx+1:], h[idx:t.k-1])
+		h[idx] = msg
+	default:
+		return // older than all k stored versions of a full history
 	}
-	if len(h) > t.k {
-		h = h[:t.k]
-	}
-	t.m[msg.From] = h
+	t.setHistory(msg.From, h)
 }
 
 // Forget removes all state for the given neighbor.
-func (t *Table) Forget(id int) { delete(t.m, id) }
+func (t *Table) Forget(id int) {
+	if t.m != nil {
+		delete(t.m, id)
+		return
+	}
+	if id >= 0 && id < len(t.dense) {
+		t.setHistory(id, t.dense[id][:0])
+	}
+}
 
 // Len returns the number of neighbors with at least one stored message
 // (expired or not; call GC first for a live count).
-func (t *Table) Len() int { return len(t.m) }
+func (t *Table) Len() int {
+	if t.m != nil {
+		return len(t.m)
+	}
+	return t.live_
+}
 
 // live reports whether a history is unexpired at the given time.
 func (t *Table) live(h []Message, now float64) bool {
@@ -88,21 +169,37 @@ func (t *Table) live(h []Message, now float64) bool {
 // Latest returns the newest stored message per live neighbor, ascending by
 // neighbor id.
 func (t *Table) Latest(now float64) []Message {
-	out := make([]Message, 0, len(t.m))
+	return t.LatestInto(make([]Message, 0, t.Len()), now)
+}
+
+// LatestInto is Latest appending into dst (which may be nil), for hot paths
+// that reuse a scratch buffer across calls. Appended entries ascend by
+// neighbor id; dst's existing contents are untouched.
+func (t *Table) LatestInto(dst []Message, now float64) []Message {
+	if t.m == nil {
+		// Dense layout iterates ids ascending; no sort needed.
+		for _, h := range t.dense {
+			if t.live(h, now) {
+				dst = append(dst, h[0])
+			}
+		}
+		return dst
+	}
+	start := len(dst)
 	//lint:order-independent
 	for _, h := range t.m {
 		if t.live(h, now) {
-			out = append(out, h[0])
+			dst = append(dst, h[0])
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
-	return out
+	sortByFrom(dst[start:])
+	return dst
 }
 
 // History returns up to k stored messages for the given neighbor, newest
 // first, or nil if the neighbor is absent or expired.
 func (t *Table) History(id int, now float64) []Message {
-	h := t.m[id]
+	h := t.history(id)
 	if !t.live(h, now) {
 		return nil
 	}
@@ -111,12 +208,41 @@ func (t *Table) History(id int, now float64) []Message {
 	return out
 }
 
+// HistoryInto is History appending into dst (which may be nil); it appends
+// nothing when the neighbor is absent or expired.
+func (t *Table) HistoryInto(dst []Message, id int, now float64) []Message {
+	h := t.history(id)
+	if !t.live(h, now) {
+		return dst
+	}
+	return append(dst, h...)
+}
+
 // Versioned returns, per live neighbor, the stored message with exactly the
 // given version, ascending by neighbor id. Neighbors lacking that version
 // are omitted — this is the lookup the proactive strong-consistency scheme
 // performs when a data packet pins a timestamp (§4.1).
 func (t *Table) Versioned(version uint64, now float64) []Message {
-	out := make([]Message, 0, len(t.m))
+	return t.VersionedInto(make([]Message, 0, t.Len()), version, now)
+}
+
+// VersionedInto is Versioned appending into dst (which may be nil).
+func (t *Table) VersionedInto(dst []Message, version uint64, now float64) []Message {
+	if t.m == nil {
+		for _, h := range t.dense {
+			if !t.live(h, now) {
+				continue
+			}
+			for _, msg := range h {
+				if msg.Version == version {
+					dst = append(dst, msg)
+					break
+				}
+			}
+		}
+		return dst
+	}
+	start := len(dst)
 	//lint:order-independent
 	for _, h := range t.m {
 		if !t.live(h, now) {
@@ -124,13 +250,13 @@ func (t *Table) Versioned(version uint64, now float64) []Message {
 		}
 		for _, msg := range h {
 			if msg.Version == version {
-				out = append(out, msg)
+				dst = append(dst, msg)
 				break
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
-	return out
+	sortByFrom(dst[start:])
+	return dst
 }
 
 // AsOf returns, per live neighbor, the newest stored message with version
@@ -140,7 +266,27 @@ func (t *Table) Versioned(version uint64, now float64) []Message {
 // each neighbor to the *same* message, so their local views are consistent
 // in the sense of Theorem 2.
 func (t *Table) AsOf(v uint64, now float64) []Message {
-	out := make([]Message, 0, len(t.m))
+	return t.AsOfInto(make([]Message, 0, t.Len()), v, now)
+}
+
+// AsOfInto is AsOf appending into dst (which may be nil).
+func (t *Table) AsOfInto(dst []Message, v uint64, now float64) []Message {
+	if t.m == nil {
+		for _, h := range t.dense {
+			if !t.live(h, now) {
+				continue
+			}
+			// h is sorted by descending version; pick the first <= v.
+			for _, msg := range h {
+				if msg.Version <= v {
+					dst = append(dst, msg)
+					break
+				}
+			}
+		}
+		return dst
+	}
+	start := len(dst)
 	//lint:order-independent
 	for _, h := range t.m {
 		if !t.live(h, now) {
@@ -149,19 +295,39 @@ func (t *Table) AsOf(v uint64, now float64) []Message {
 		// h is sorted by descending version; pick the first <= v.
 		for _, msg := range h {
 			if msg.Version <= v {
-				out = append(out, msg)
+				dst = append(dst, msg)
 				break
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
-	return out
+	sortByFrom(dst[start:])
+	return dst
+}
+
+// sortByFrom orders messages ascending by sender id. Insertion sort: the
+// slices are small (one entry per live neighbor) and, unlike sort.Slice,
+// it allocates nothing — these calls sit on the per-Hello hot path.
+func sortByFrom(msgs []Message) {
+	for i := 1; i < len(msgs); i++ {
+		for j := i; j > 0 && msgs[j].From < msgs[j-1].From; j-- {
+			msgs[j], msgs[j-1] = msgs[j-1], msgs[j]
+		}
+	}
 }
 
 // GC drops neighbors whose newest message is expired and returns how many
 // were dropped.
 func (t *Table) GC(now float64) int {
 	dropped := 0
+	if t.m == nil {
+		for id, h := range t.dense {
+			if len(h) > 0 && !t.live(h, now) {
+				t.setHistory(id, h[:0])
+				dropped++
+			}
+		}
+		return dropped
+	}
 	//lint:order-independent
 	for id, h := range t.m {
 		if !t.live(h, now) {

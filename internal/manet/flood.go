@@ -78,9 +78,13 @@ func (nw *Network) transmit(fl *flood, sender int, now sim.Time) {
 	var senderCover map[int]bool
 	if nw.cfg.Mech.SelfPruning {
 		// The packet header additionally carries the sender's known 1-hop
-		// neighborhood (it already carries the logical set).
-		senderCover = map[int]bool{sender: true}
-		for _, m := range nd.table.Latest(now) {
+		// neighborhood (it already carries the logical set). The map is
+		// captured by the delayed delivery closures below, so it cannot be
+		// scratch-backed.
+		nw.msgBuf = nd.table.LatestInto(nw.msgBuf[:0], now)
+		senderCover = make(map[int]bool, len(nw.msgBuf)+1)
+		senderCover[sender] = true
+		for _, m := range nw.msgBuf {
 			senderCover[m.From] = true
 		}
 	}
@@ -119,7 +123,8 @@ func (nw *Network) transmit(fl *flood, sender int, now sim.Time) {
 // coversNew reports whether node id knows a neighbor outside the sender's
 // covered set — the self-pruning forwarding condition.
 func (nw *Network) coversNew(id int, now sim.Time, cover map[int]bool) bool {
-	for _, m := range nw.nodes[id].table.Latest(now) {
+	nw.msgBuf = nw.nodes[id].table.LatestInto(nw.msgBuf[:0], now)
+	for _, m := range nw.msgBuf {
 		if !cover[m.From] {
 			return true
 		}

@@ -86,6 +86,21 @@ type Network struct {
 	helloEnergy   float64
 
 	recvBuf []int
+
+	// Per-event scratch reused across the Hello/selection hot path. The
+	// engine is single-goroutine, so one set shared by all nodes suffices;
+	// nothing built from these buffers outlives the event that filled it
+	// (selectors do not retain view slices, and anything stored — logical
+	// sets, Hello payloads — is copied out).
+	msgBuf     []hello.Message       // Table.*Into scratch
+	nbrBuf     []topology.NodeInfo   // View.Neighbors scratch
+	multiBuf   []topology.MultiNodeInfo
+	posBuf     []geom.Point // flat backing for MultiNodeInfo.Positions
+	histBuf    []hello.Message
+	selfPosBuf []geom.Point
+	cdsNbrOf   map[int][]int // reused cds.View.NeighborsOf
+	cdsNbrBuf  []int
+	cdsMarkBuf map[int]bool
 }
 
 // NewNetwork builds a run over the given mobility model.
@@ -129,7 +144,7 @@ func NewNetwork(model mobility.Model, cfg Config) (*Network, error) {
 		nw.nodes[i] = &node{
 			id:        i,
 			interval:  sub.Uniform(cfg.HelloMin, cfg.HelloMax),
-			table:     hello.NewTable(k, expiry),
+			table:     hello.NewTableN(k, expiry, n),
 			isLogical: make([]bool, n),
 		}
 	}
@@ -165,7 +180,7 @@ func (nw *Network) Run(duration float64) Result {
 				nd.downUntil = now + down
 				// Losing state on failure: the node reboots with an
 				// empty neighbor table and no selection.
-				nd.table = hello.NewTable(nd.table.K(), nw.cfg.HelloExpiry)
+				nd.table = hello.NewTableN(nd.table.K(), nw.cfg.HelloExpiry, len(nw.nodes))
 				nw.setSelection(nd, nil, 0)
 				nw.eng.Schedule(now+down+rng.ExpFloat64()*nw.cfg.Churn.MeanUp, fail)
 			}
@@ -225,7 +240,11 @@ func (nw *Network) sendHello(nd *node, now sim.Time) {
 	if nw.cfg.Mech.CDSForward {
 		nd.cdsMarked = nw.wuLiMarked(nd, now)
 		msg.Marked = nd.cdsMarked
-		for _, m := range nd.table.Latest(now) {
+		nw.msgBuf = nd.table.LatestInto(nw.msgBuf[:0], now)
+		// The neighbor list travels in the stored message, so it must be
+		// freshly allocated (exact-sized) rather than scratch-backed.
+		msg.Neighbors = make([]int, 0, len(nw.msgBuf))
+		for _, m := range nw.msgBuf {
 			msg.Neighbors = append(msg.Neighbors, m.From)
 		}
 	}
@@ -293,20 +312,28 @@ func (nw *Network) scheduleReactiveRounds() {
 // wuLiMarked computes nd's Wu-Li status from its 2-hop view — marked iff
 // two known neighbors are not directly connected per their advertised
 // neighbor lists — then applies Rule-1/2 pruning against the neighbors'
-// advertised marked flags (references [34]/[35]).
+// advertised marked flags (references [34]/[35]). The cds.View map and the
+// marked-flag map are network-owned scratch cleared per call; cds reads
+// them purely, so nothing escapes the call.
 func (nw *Network) wuLiMarked(nd *node, now sim.Time) bool {
-	latest := nd.table.Latest(now)
-	v := cds.View{Self: nd.id, NeighborsOf: make(map[int][]int, len(latest))}
-	markedFlag := make(map[int]bool, len(latest))
-	for _, m := range latest {
-		v.Neighbors = append(v.Neighbors, m.From)
-		v.NeighborsOf[m.From] = m.Neighbors
-		markedFlag[m.From] = m.Marked
+	nw.msgBuf = nd.table.LatestInto(nw.msgBuf[:0], now)
+	if nw.cdsNbrOf == nil {
+		nw.cdsNbrOf = make(map[int][]int, len(nw.msgBuf))
+		nw.cdsMarkBuf = make(map[int]bool, len(nw.msgBuf))
 	}
+	clear(nw.cdsNbrOf)
+	clear(nw.cdsMarkBuf)
+	nw.cdsNbrBuf = nw.cdsNbrBuf[:0]
+	for _, m := range nw.msgBuf {
+		nw.cdsNbrBuf = append(nw.cdsNbrBuf, m.From)
+		nw.cdsNbrOf[m.From] = m.Neighbors
+		nw.cdsMarkBuf[m.From] = m.Marked
+	}
+	v := cds.View{Self: nd.id, Neighbors: nw.cdsNbrBuf, NeighborsOf: nw.cdsNbrOf}
 	if !cds.Marked(v) {
 		return false
 	}
-	isMarked := func(x int) bool { return markedFlag[x] }
+	isMarked := func(x int) bool { return nw.cdsMarkBuf[x] }
 	if cds.Rule1(v, isMarked) || cds.Rule2(v, isMarked) {
 		return false
 	}
@@ -324,11 +351,13 @@ func (nw *Network) updateSelection(nd *node, now sim.Time, selfPos geom.Point) {
 		nw.selectWeak(nd, now)
 		return
 	}
-	v := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: selfPos}}
-	for _, m := range nd.table.Latest(now) {
-		v.Neighbors = append(v.Neighbors, topology.NodeInfo{ID: m.From, Pos: m.Pos})
+	nw.msgBuf = nd.table.LatestInto(nw.msgBuf[:0], now)
+	nw.nbrBuf = nw.nbrBuf[:0]
+	for _, m := range nw.msgBuf {
+		nw.nbrBuf = append(nw.nbrBuf, topology.NodeInfo{ID: m.From, Pos: m.Pos})
 	}
-	v = v.Canon()
+	v := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: selfPos}, Neighbors: nw.nbrBuf}
+	v = v.EnsureCanon()
 	sel := nw.cfg.Protocol.Select(v)
 	cur := nw.med.PositionAt(nd.id, now)
 	if cur != selfPos {
@@ -340,11 +369,13 @@ func (nw *Network) updateSelection(nd *node, now sim.Time, selfPos geom.Point) {
 // selectFromVersion is updateSelection restricted to messages of one
 // version (reactive scheme).
 func (nw *Network) selectFromVersion(nd *node, now sim.Time, ver uint64) {
-	v := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: nd.advertisedPos}}
-	for _, m := range nd.table.Versioned(ver, now) {
-		v.Neighbors = append(v.Neighbors, topology.NodeInfo{ID: m.From, Pos: m.Pos})
+	nw.msgBuf = nd.table.VersionedInto(nw.msgBuf[:0], ver, now)
+	nw.nbrBuf = nw.nbrBuf[:0]
+	for _, m := range nw.msgBuf {
+		nw.nbrBuf = append(nw.nbrBuf, topology.NodeInfo{ID: m.From, Pos: m.Pos})
 	}
-	v = v.Canon()
+	v := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: nd.advertisedPos}, Neighbors: nw.nbrBuf}
+	v = v.EnsureCanon()
 	sel := nw.cfg.Protocol.Select(v)
 	v.Self.Pos = nw.med.PositionAt(nd.id, now)
 	nw.applySelection(nd, v, sel)
@@ -357,11 +388,13 @@ func (nw *Network) selectFromVersion(nd *node, now sim.Time, ver uint64) {
 // same messages, giving the consistent views of the proactive scheme.
 func (nw *Network) selectAsOf(nd *node, now sim.Time, v uint64) {
 	own := nd.ownAsOf(v)
-	view := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: own.Pos}}
-	for _, m := range nd.table.AsOf(v, now) {
-		view.Neighbors = append(view.Neighbors, topology.NodeInfo{ID: m.From, Pos: m.Pos})
+	nw.msgBuf = nd.table.AsOfInto(nw.msgBuf[:0], v, now)
+	nw.nbrBuf = nw.nbrBuf[:0]
+	for _, m := range nw.msgBuf {
+		nw.nbrBuf = append(nw.nbrBuf, topology.NodeInfo{ID: m.From, Pos: m.Pos})
 	}
-	view = view.Canon()
+	view := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: own.Pos}, Neighbors: nw.nbrBuf}
+	view = view.EnsureCanon()
 	sel := nw.cfg.Protocol.Select(view)
 	view.Self.Pos = nw.med.PositionAt(nd.id, now)
 	nw.applySelection(nd, view, sel)
@@ -373,30 +406,40 @@ func (nw *Network) selectAsOf(nd *node, now sim.Time, v uint64) {
 // retain their own history beyond it — plus the current position, which is
 // what the next Hello will advertise).
 func (nw *Network) selectWeak(nd *node, now sim.Time) {
-	self := topology.MultiNodeInfo{
-		ID:        nd.id,
-		Positions: []geom.Point{nd.advertisedPos, nw.med.PositionAt(nd.id, now)},
+	nw.selfPosBuf = append(nw.selfPosBuf[:0], nd.advertisedPos, nw.med.PositionAt(nd.id, now))
+	self := topology.MultiNodeInfo{ID: nd.id, Positions: nw.selfPosBuf}
+	nw.msgBuf = nd.table.LatestInto(nw.msgBuf[:0], now)
+	// Pre-grow the flat position buffer so per-neighbor subslices stay
+	// valid while later neighbors append to it.
+	if need := len(nw.msgBuf) * nd.table.K(); cap(nw.posBuf) < need {
+		nw.posBuf = make([]geom.Point, 0, 2*need)
 	}
-	mv := topology.MultiView{Self: self}
-	for _, m := range nd.table.Latest(now) {
-		hist := nd.table.History(m.From, now)
-		mn := topology.MultiNodeInfo{ID: m.From, Positions: make([]geom.Point, 0, len(hist))}
-		for _, h := range hist {
-			mn.Positions = append(mn.Positions, h.Pos)
+	nw.posBuf = nw.posBuf[:0]
+	nw.multiBuf = nw.multiBuf[:0]
+	for _, m := range nw.msgBuf {
+		start := len(nw.posBuf)
+		nw.histBuf = nd.table.HistoryInto(nw.histBuf[:0], m.From, now)
+		for _, h := range nw.histBuf {
+			nw.posBuf = append(nw.posBuf, h.Pos)
 		}
-		mv.Neighbors = append(mv.Neighbors, mn)
+		nw.multiBuf = append(nw.multiBuf, topology.MultiNodeInfo{ID: m.From, Positions: nw.posBuf[start:len(nw.posBuf):len(nw.posBuf)]})
 	}
+	mv := topology.MultiView{Self: self, Neighbors: nw.multiBuf}
 	sel := nw.cfg.Weak.SelectWeak(mv)
 	// Range must cover the farthest stored position of every selected
-	// neighbor (conservative).
+	// neighbor (conservative). sel and mv.Neighbors both ascend by id, so
+	// a single merge scan finds each selected neighbor — O(sel + nbrs)
+	// instead of the quadratic per-selection rescan.
 	r := 0.0
+	j := 0
 	for _, id := range sel {
-		for _, nb := range mv.Neighbors {
-			if nb.ID == id {
-				_, dMax := topology.CostRange([]geom.Point{self.Positions[1]}, nb.Positions, topology.DistanceCost)
-				if dMax > r {
-					r = dMax
-				}
+		for j < len(mv.Neighbors) && mv.Neighbors[j].ID < id {
+			j++
+		}
+		if j < len(mv.Neighbors) && mv.Neighbors[j].ID == id {
+			_, dMax := topology.CostRange(self.Positions[1:2], mv.Neighbors[j].Positions, topology.DistanceCost)
+			if dMax > r {
+				r = dMax
 			}
 		}
 	}

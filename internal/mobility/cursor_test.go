@@ -1,0 +1,72 @@
+package mobility
+
+import (
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/xrand"
+)
+
+// TestCursorMatchesModel checks the cursor's core contract: its answers are
+// bit-for-bit identical to Model.PositionAt under every access pattern a
+// simulation produces — monotone sweeps, repeated instants, backward jumps,
+// and out-of-range times.
+func TestCursorMatchesModel(t *testing.T) {
+	arena := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1000, 1000)}
+	m, err := NewRandomWaypoint(arena, WaypointConfig{
+		N: 20, SpeedMin: 1, SpeedMax: 160, Pause: 1, Horizon: 60,
+	}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := NewCursor(m)
+	if cur.src == nil {
+		t.Fatal("waypoint model should expose legs to the cursor")
+	}
+	check := func(id int, at float64) {
+		t.Helper()
+		got, want := cur.PositionAt(id, at), m.PositionAt(id, at)
+		if got != want { //lint:ignore float-eq the contract under test is bit-identity
+			t.Fatalf("node %d at t=%v: cursor %v != model %v", id, at, got, want)
+		}
+	}
+
+	// Monotone sweep with repeated instants, all nodes per instant.
+	for at := 0.0; at <= 60; at += 0.37 {
+		for id := 0; id < m.N(); id++ {
+			check(id, at)
+			check(id, at) // same instant twice
+		}
+	}
+	// Random (including backward) jumps.
+	rng := xrand.New(11)
+	for i := 0; i < 2000; i++ {
+		check(rng.Intn(m.N()), rng.Uniform(-5, 70))
+	}
+	// Clamping at the extremes after the cursor has advanced.
+	for id := 0; id < m.N(); id++ {
+		check(id, 60)
+		check(id, -1)
+		check(id, 1e9)
+		check(id, 0)
+	}
+}
+
+// TestCursorFallback checks that models without precomputed legs are served
+// through their own PositionAt.
+func TestCursorFallback(t *testing.T) {
+	cur := NewCursor(flatModel{})
+	if got := cur.PositionAt(3, 5); got != geom.Pt(3, 5) {
+		t.Fatalf("fallback cursor: got %v", got)
+	}
+}
+
+// flatModel is a minimal Model implementation from outside the track-based
+// family.
+type flatModel struct{}
+
+func (flatModel) N() int                                  { return 8 }
+func (flatModel) Arena() geom.Rect                        { return geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 10)} }
+func (flatModel) Horizon() float64                        { return 100 }
+func (flatModel) MaxSpeed() float64                       { return 0 }
+func (flatModel) PositionAt(id int, t float64) geom.Point { return geom.Pt(float64(id), t) }

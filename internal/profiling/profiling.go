@@ -1,0 +1,52 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile flags
+// into commands. Profiles go to the named files only — never to stdout — so
+// enabling them cannot perturb the byte-identical figure and metric output
+// the determinism contract covers.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns a function that
+// stops profiling and closes the file (defer it from main). An empty path
+// is a no-op returning a no-op stop.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path, running a GC first so the
+// profile reflects live objects the way `go tool pprof` expects. An empty
+// path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
+}

@@ -7,6 +7,22 @@
 // Two knobs extend the ideal model for robustness experiments: a constant
 // per-hop delay (propagation plus processing) and an i.i.d. reception loss
 // probability used by failure-injection tests. Both default to zero.
+//
+// # Bounded-staleness spatial index
+//
+// "Hello" beacons are asynchronous, so every transmission queries the
+// medium at a unique instant; an exact-instant position cache never hits
+// and each query would pay a full O(n) position sweep plus a grid rebuild.
+// Instead the medium reuses a grid built at some earlier instant t0 and
+// keeps queries exact by the same bounded-displacement argument as the
+// paper's buffer zone (Theorem 5, l = 2·Δ″·v): within Δ = t−t0 seconds no
+// pair of nodes changes relative distance by more than 2·vmax·Δ, so a disc
+// query of radius r at time t is a subset of the stale grid's candidates at
+// radius r + 2·vmax·Δ. Candidates are then filtered by their exact
+// positions at t, making the receiver set identical — bit for bit — to a
+// freshly built grid's. The grid is rebuilt only once the inflation
+// 2·vmax·Δ exceeds a slack budget (one grid cell by default), turning the
+// per-event cost from O(n) into O(neighborhood) amortized.
 package radio
 
 import (
@@ -33,26 +49,57 @@ type Config struct {
 	// gives the paper's collision-free ideal MAC; positive values enable
 	// the collision model in collision.go.
 	TxDuration float64
+	// Slack is the bounded-staleness budget in meters: the grid is
+	// reused as long as the query-radius inflation 2·vmax·(t−t0) stays
+	// within it. 0 (the default) means one grid cell; a negative value
+	// disables staleness entirely and rebuilds per distinct instant (the
+	// exact-instant reference behavior, kept for differential tests).
+	// Receiver sets are independent of Slack by construction — the knob
+	// trades grid rebuilds against candidate filtering, never results.
+	Slack float64
 }
 
 func (c *Config) setDefaults() {
 	if c.Cell == 0 { //lint:ignore float-eq zero value is the unset sentinel, exact by construction
 		c.Cell = 125
 	}
+	if c.Slack == 0 { //lint:ignore float-eq zero value is the unset sentinel, exact by construction
+		c.Slack = c.Cell
+	}
 }
 
-// Medium is the shared wireless channel. It caches node positions per
-// distinct query instant, so the many receiver queries a flood issues at
-// (nearly) the same time cost one position sweep plus grid lookups.
-// A Medium is single-goroutine, like the Engine that drives it.
+// Medium is the shared wireless channel. It serves receiver queries from a
+// bounded-staleness spatial grid (see the package comment): queries at
+// instants close to the last grid build reuse it with an inflated search
+// radius and exact-position filtering, so results never depend on the cache
+// state. A Medium is single-goroutine, like the Engine that drives it.
 type Medium struct {
 	model mobility.Model
+	cur   *mobility.Cursor
 	cfg   Config
 	rng   *xrand.Source
-	grid  *spatial.Index
+	vmax  float64
+
+	// bounded-staleness grid state
+	grid    *spatial.Index
+	gridPos []geom.Point // positions the grid was built from (at gridAt)
+	gridAt  float64
+	gridOK  bool
+	cand    []int // scratch for inflated-radius candidates
+
+	// exact-instant cache backing PositionsAt
 	pos   []geom.Point
 	at    float64
 	fresh bool
+
+	// per-instant memoized exact positions: repeated queries at the same
+	// instant (candidate filtering, metric sweeps) reuse the cursor's
+	// answer instead of re-evaluating the trajectory. stamp[id] == epoch
+	// marks exact[id] as computed at lastT.
+	exact []geom.Point
+	stamp []uint64
+	epoch uint64
+	lastT float64
 
 	// collision-model state (see collision.go)
 	txSeq uint64
@@ -77,11 +124,18 @@ func NewMedium(model mobility.Model, cfg Config, rng *xrand.Source) (*Medium, er
 		return nil, err
 	}
 	return &Medium{
-		model: model,
-		cfg:   cfg,
-		rng:   rng,
-		grid:  grid,
-		pos:   make([]geom.Point, model.N()),
+		model:   model,
+		cur:     mobility.NewCursor(model),
+		cfg:     cfg,
+		rng:     rng,
+		vmax:    model.MaxSpeed(),
+		grid:    grid,
+		gridPos: make([]geom.Point, model.N()),
+		pos:     make([]geom.Point, model.N()),
+		exact:   make([]geom.Point, model.N()),
+		stamp:   make([]uint64, model.N()),
+		epoch:   1,
+		cand:    make([]int, 0, 64),
 	}, nil
 }
 
@@ -91,28 +145,71 @@ func (m *Medium) Delay() float64 { return m.cfg.Delay }
 // N returns the node count.
 func (m *Medium) N() int { return m.model.N() }
 
-// PositionAt returns node id's position at time t (uncached single query).
+// posAt returns node id's exact position at t through the per-instant memo:
+// the first query at a new instant advances the epoch, later queries for the
+// same id at the same instant are a stamp check and an array load.
+func (m *Medium) posAt(id int, t float64) geom.Point {
+	if t != m.lastT { //lint:ignore float-eq cache key: same simulated instant, exact by construction
+		m.epoch++
+		m.lastT = t
+	}
+	if m.stamp[id] == m.epoch {
+		return m.exact[id]
+	}
+	p := m.cur.PositionAt(id, t)
+	m.exact[id] = p
+	m.stamp[id] = m.epoch
+	return p
+}
+
+// PositionAt returns node id's position at time t (single query, served by
+// the medium's monotone leg cursor behind the per-instant memo).
 func (m *Medium) PositionAt(id int, t float64) geom.Point {
-	return m.model.PositionAt(id, t)
+	return m.posAt(id, t)
 }
 
 // PositionsAt returns all node positions at time t. The returned slice is
 // owned by the medium and valid until the next call.
 func (m *Medium) PositionsAt(t float64) []geom.Point {
-	m.refresh(t)
+	if m.fresh && m.at == t { //lint:ignore float-eq cache key: positions were built at exactly this simulated instant
+		return m.pos
+	}
+	for id := range m.pos {
+		m.pos[id] = m.posAt(id, t)
+	}
+	m.at = t
+	m.fresh = true
 	return m.pos
 }
 
-func (m *Medium) refresh(t float64) {
-	if m.fresh && m.at == t { //lint:ignore float-eq cache key: positions were built at exactly this simulated instant
-		return
+// inflation returns the query-radius inflation that makes the grid built at
+// gridAt exact for a query at t: 2·vmax·(t−gridAt), the maximal relative
+// displacement of any node pair over the staleness window (the buffer-zone
+// displacement bound of Theorem 5).
+func (m *Medium) inflation(t float64) float64 {
+	return 2 * m.vmax * (t - m.gridAt)
+}
+
+// ensureGrid makes the grid usable for a query at time t: it rebuilds when
+// there is no grid yet, when t precedes the build instant, or when the
+// staleness inflation would exceed the slack budget.
+func (m *Medium) ensureGrid(t float64) {
+	if m.gridOK {
+		if m.cfg.Slack < 0 {
+			// Staleness disabled: reuse only at the exact build instant.
+			if t == m.gridAt { //lint:ignore float-eq cache key: grid was built at exactly this simulated instant
+				return
+			}
+		} else if t >= m.gridAt && m.inflation(t) <= m.cfg.Slack {
+			return
+		}
 	}
-	for id := range m.pos {
-		m.pos[id] = m.model.PositionAt(id, t)
+	for id := range m.gridPos {
+		m.gridPos[id] = m.posAt(id, t)
 	}
-	m.grid.Build(m.pos)
-	m.at = t
-	m.fresh = true
+	m.grid.Build(m.gridPos)
+	m.gridAt = t
+	m.gridOK = true
 }
 
 // ReceiversAt appends to dst the nodes that receive a transmission sent by
@@ -122,9 +219,27 @@ func (m *Medium) ReceiversAt(t float64, sender int, r float64, dst []int) []int 
 	if r <= 0 {
 		return dst
 	}
-	m.refresh(t)
+	m.ensureGrid(t)
+	p := m.posAt(sender, t)
 	start := len(dst)
-	dst = m.grid.WithinOf(sender, r, dst)
+	m.cand = m.grid.WithinUnsorted(p, r+m.inflation(t), m.cand[:0])
+	r2 := r * r
+	for _, id := range m.cand {
+		if id == sender {
+			continue
+		}
+		// Exact filter: candidate sets may grow with staleness, but this
+		// test over true positions at t is the same one a fresh grid
+		// performs, so the receiver set is identical either way.
+		if m.posAt(id, t).Dist2(p) <= r2 {
+			dst = append(dst, id)
+		}
+	}
+	// Candidates arrive in cell-scan order; restore the ascending-id
+	// contract on the (smaller) filtered set. Sorting after filtering also
+	// keeps the loss process below consuming randomness in id order, the
+	// same order a sorted candidate scan would have produced.
+	sortInts(dst[start:])
 	if m.cfg.LossRate > 0 {
 		kept := dst[start:start]
 		for _, id := range dst[start:] {
@@ -135,4 +250,14 @@ func (m *Medium) ReceiversAt(t float64, sender int, r float64, dst []int) []int 
 		dst = dst[:start+len(kept)]
 	}
 	return dst
+}
+
+// sortInts is an allocation-free insertion sort for the small per-query
+// receiver lists (sort.Ints pays generic-dispatch overhead at this size).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }

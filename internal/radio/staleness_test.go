@@ -1,0 +1,129 @@
+package radio
+
+import (
+	"fmt"
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/mobility"
+	"mstc/internal/xrand"
+)
+
+// newWaypointModel builds a fast random-waypoint model with per-leg speeds
+// up to vmax (m/s), the stress axis of the staleness bound.
+func newWaypointModel(t *testing.T, n int, vmax, horizon float64, seed uint64) mobility.Model {
+	t.Helper()
+	m, err := mobility.NewRandomWaypoint(geom.Square(900), mobility.WaypointConfig{
+		N: n, SpeedMin: 1, SpeedMax: vmax, Horizon: horizon,
+	}, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// bruteReceivers is the O(n) reference: every node other than sender whose
+// exact position at t is within r, ascending by id.
+func bruteReceivers(m mobility.Model, t float64, sender int, r float64) []int {
+	p := m.PositionAt(sender, t)
+	r2 := r * r
+	var out []int
+	for id := 0; id < m.N(); id++ {
+		if id == sender {
+			continue
+		}
+		if m.PositionAt(id, t).Dist2(p) <= r2 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestReceiversAtMatchesBruteForce is the differential test for the
+// bounded-staleness grid: across slack budgets (including the negative
+// "exact-instant rebuild" reference) and speeds up to 160 m/s, ReceiversAt
+// must return exactly the brute-force disc scan's receiver set at every
+// query instant. Query times are drawn mostly increasing — the simulation's
+// access pattern — with occasional repeats and backward jumps mixed in.
+func TestReceiversAtMatchesBruteForce(t *testing.T) {
+	const horizon = 30.0
+	for _, vmax := range []float64{2, 40, 160} {
+		for _, slack := range []float64{-1, 0, 10, 500} {
+			name := fmt.Sprintf("vmax=%g/slack=%g", vmax, slack)
+			t.Run(name, func(t *testing.T) {
+				model := newWaypointModel(t, 60, vmax, horizon, 11)
+				med, err := NewMedium(model, Config{Slack: slack}, xrand.New(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := xrand.New(99)
+				at := 0.0
+				buf := make([]int, 0, 64)
+				for q := 0; q < 400; q++ {
+					switch rng.Intn(10) {
+					case 0: // repeat the same instant
+					case 1: // backward jump
+						at = rng.Uniform(0, at)
+					default:
+						at += rng.Uniform(0, 0.2)
+						if at > horizon {
+							at = rng.Uniform(0, horizon)
+						}
+					}
+					sender := rng.Intn(model.N())
+					r := rng.Uniform(50, 300)
+					buf = med.ReceiversAt(at, sender, r, buf[:0])
+					want := bruteReceivers(model, at, sender, r)
+					if len(buf) != len(want) {
+						t.Fatalf("query %d (t=%v sender=%d r=%g): got %d receivers, want %d\n got %v\nwant %v",
+							q, at, sender, r, len(buf), len(want), buf, want)
+					}
+					for i := range want {
+						if buf[i] != want[i] {
+							t.Fatalf("query %d (t=%v sender=%d r=%g): receivers[%d] = %d, want %d",
+								q, at, sender, r, i, buf[i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestReceiversAtLossIndependentOfSlack pins the subtler half of the
+// determinism contract: with a loss process attached, the randomness is
+// consumed per post-filter receiver in id order, so the surviving set is
+// also independent of the slack budget (not just the pre-loss set).
+func TestReceiversAtLossIndependentOfSlack(t *testing.T) {
+	const horizon = 20.0
+	model := newWaypointModel(t, 60, 80, horizon, 5)
+	run := func(slack float64) [][]int {
+		med, err := NewMedium(model, Config{Slack: slack, LossRate: 0.3}, xrand.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(42)
+		at := 0.0
+		var got [][]int
+		for q := 0; q < 300; q++ {
+			at += rng.Uniform(0, 0.1)
+			out := med.ReceiversAt(at, rng.Intn(model.N()), rng.Uniform(100, 300), nil)
+			got = append(got, out)
+		}
+		return got
+	}
+	want := run(-1) // exact-instant reference
+	for _, slack := range []float64{0, 25, 400} {
+		got := run(slack)
+		for q := range want {
+			if len(got[q]) != len(want[q]) {
+				t.Fatalf("slack %g query %d: %v != reference %v", slack, q, got[q], want[q])
+			}
+			for i := range want[q] {
+				if got[q][i] != want[q][i] {
+					t.Fatalf("slack %g query %d: %v != reference %v", slack, q, got[q], want[q])
+				}
+			}
+		}
+	}
+}

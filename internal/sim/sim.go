@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -28,18 +27,62 @@ type item struct {
 	fn  Event
 }
 
+// eventHeap is a hand-rolled binary min-heap over items. container/heap
+// would box every item into an interface value on Push/Pop — one heap
+// allocation per scheduled event, which dominates the steady-state
+// allocation profile of a simulation — so the sift operations are inlined
+// here and items stay in the slice by value.
 type eventHeap []item
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at { //lint:ignore float-eq exact compare orders events; equal timestamps fall through to FIFO seq
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// push appends it and restores the heap invariant (sift-up).
+func (h *eventHeap) push(it item) {
+	*h = append(*h, it)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum item (sift-down).
+func (h *eventHeap) pop() item {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = item{} // release the closure reference
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return top
+}
 
 // Engine is a single-threaded discrete-event scheduler. The zero value is
 // ready to use at time 0.
@@ -73,7 +116,7 @@ func (e *Engine) Schedule(at Time, fn Event) {
 		panic("sim: nil event")
 	}
 	e.seq++
-	heap.Push(&e.queue, item{at: at, seq: e.seq, fn: fn})
+	e.queue.push(item{at: at, seq: e.seq, fn: fn})
 }
 
 // ScheduleIn enqueues fn to run after delay d (>= 0) from Now.
@@ -107,7 +150,7 @@ func (e *Engine) Step() bool {
 	if e.stopped || len(e.queue) == 0 {
 		return false
 	}
-	it := heap.Pop(&e.queue).(item)
+	it := e.queue.pop()
 	e.now = it.at
 	it.fn(it.at)
 	return true
@@ -120,7 +163,7 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(until Time) int {
 	n := 0
 	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= until {
-		it := heap.Pop(&e.queue).(item)
+		it := e.queue.pop()
 		e.now = it.at
 		it.fn(it.at)
 		n++

@@ -104,10 +104,20 @@ func (ix *Index) Position(id int) geom.Point { return ix.pts[id] }
 // (inclusive), in ascending id order, and returns the extended slice.
 // Pass a non-nil dst to avoid allocation on hot paths.
 func (ix *Index) Within(p geom.Point, r float64, dst []int) []int {
+	start := len(dst)
+	dst = ix.WithinUnsorted(p, r, dst)
+	sort.Ints(dst[start:])
+	return dst
+}
+
+// WithinUnsorted is Within without the final sort: ids are appended in cell
+// scan order (row-major cells, ascending ids inside each cell) — a fixed,
+// deterministic order, just not globally ascending. Hot paths that filter
+// the candidates further can sort the smaller filtered set instead.
+func (ix *Index) WithinUnsorted(p geom.Point, r float64, dst []int) []int {
 	if r < 0 {
 		return dst
 	}
-	start := len(dst)
 	r2 := r * r
 	cx0, cy0 := ix.cellOf(geom.Pt(p.X-r, p.Y-r))
 	cx1, cy1 := ix.cellOf(geom.Pt(p.X+r, p.Y+r))
@@ -121,7 +131,6 @@ func (ix *Index) Within(p geom.Point, r float64, dst []int) []int {
 			}
 		}
 	}
-	sort.Ints(dst[start:])
 	return dst
 }
 

@@ -34,17 +34,31 @@ func (RNG) Name() string { return "RNG" }
 func (RNG) Select(v View) []int {
 	out := make([]int, 0, 4)
 	u := v.Self
+	// Cache cost(u, w) per witness: the naive double loop recomputes each
+	// of these d times, and the distance (hypot) dominates the selection
+	// profile. The witness cost cost(w, v) is only needed once the first
+	// LinkLess condition holds, so it is computed lazily — same values,
+	// same comparisons, identical output.
+	var buf [64]float64
+	cU := buf[:0]
+	if len(v.Neighbors) > len(buf) {
+		cU = make([]float64, 0, len(v.Neighbors))
+	}
 	for _, n := range v.Neighbors {
-		cUV := u.Pos.Dist(n.Pos)
+		cU = append(cU, u.Pos.Dist(n.Pos))
+	}
+	for i, n := range v.Neighbors {
+		cUV := cU[i]
 		removed := false
-		for _, w := range v.Neighbors {
+		for j, w := range v.Neighbors {
 			if w.ID == n.ID {
 				continue
 			}
-			cUW := u.Pos.Dist(w.Pos)
+			if !LinkLess(cU[j], u.ID, w.ID, cUV, u.ID, n.ID) {
+				continue
+			}
 			cWV := w.Pos.Dist(n.Pos)
-			if LinkLess(cUW, u.ID, w.ID, cUV, u.ID, n.ID) &&
-				LinkLess(cWV, w.ID, n.ID, cUV, u.ID, n.ID) {
+			if LinkLess(cWV, w.ID, n.ID, cUV, u.ID, n.ID) {
 				removed = true
 				break
 			}

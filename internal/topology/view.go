@@ -40,6 +40,21 @@ func (v View) Canon() View {
 	return View{Self: v.Self, Neighbors: nbrs}
 }
 
+// EnsureCanon returns v unchanged when it is already canonical — neighbors
+// strictly ascending by id with no entry equal to Self — and falls back to
+// Canon otherwise. Views assembled from a hello.Table (which stores at most
+// one live entry per neighbor and lists them in ascending id order) hit the
+// no-op path, so the per-event selection pipeline canonicalizes without
+// allocating.
+func (v View) EnsureCanon() View {
+	for i, n := range v.Neighbors {
+		if n.ID == v.Self.ID || (i > 0 && v.Neighbors[i-1].ID >= n.ID) {
+			return v.Canon()
+		}
+	}
+	return v
+}
+
 // Find returns the neighbor entry with the given id, if present.
 func (v View) Find(id int) (NodeInfo, bool) {
 	for _, n := range v.Neighbors {
