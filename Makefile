@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check bench
+.PHONY: build test race vet lint check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,13 @@ lint:
 # cmd/benchreport. CI runs this and uploads the report as an artifact.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . | tee /dev/stderr | $(GO) run ./cmd/benchreport -o BENCH.json
+
+# Gate the hot path against the committed baseline trajectory: three
+# repetitions of BenchmarkSingleRun, compared by minimum ns/op; fails on a
+# >30 % regression. Override the reference with BASELINE=BENCH_1.json etc.
+BASELINE ?= BENCH_2.json
+bench-compare:
+	$(GO) test -run '^$$' -bench '^BenchmarkSingleRun$$' -count 3 . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchreport -baseline $(BASELINE) -gate BenchmarkSingleRun -o /dev/null
 
 check: build vet lint test race

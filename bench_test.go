@@ -362,6 +362,37 @@ func BenchmarkAblationGridCell(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepWorkers measures how a protocol-by-speed Sweep scales with
+// the worker-pool size, from sequential up to GOMAXPROCS (doubling in
+// between). Tasks are handed out through a buffered channel, so the curve
+// exposes scheduler hand-off overhead rather than channel-capacity stalls.
+func BenchmarkSweepWorkers(b *testing.B) {
+	o := benchOptions()
+	o.Reps = 2
+	protocols := []string{"RNG", "MST", "SPT-2"}
+	speeds := []float64{1, 160}
+	maxW := runtime.GOMAXPROCS(0)
+	workers := []int{1}
+	for w := 2; w < maxW; w *= 2 {
+		workers = append(workers, w)
+	}
+	if maxW > 1 {
+		workers = append(workers, maxW)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			o := o
+			o.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.Sweep(o, protocols, speeds, []manet.Mechanisms{{}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkParallelRuns compares sequential and parallel execution of the
 // same 8-run sweep (the experiment package's worker pool).
 func BenchmarkParallelRuns(b *testing.B) {

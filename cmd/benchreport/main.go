@@ -10,6 +10,15 @@
 //
 // Entries are sorted by name and the GOMAXPROCS suffix ("-8") is stripped,
 // so reports from machines with different core counts diff cleanly.
+//
+// With -baseline it additionally acts as a regression gate:
+//
+//	go test -bench SingleRun -count 3 | benchreport -baseline BENCH_2.json -gate BenchmarkSingleRun
+//
+// compares the minimum ns/op of each gated benchmark (minimum across
+// -count repetitions — the least-noisy location estimate) against the same
+// benchmark in the baseline report and exits nonzero when the current run
+// is more than -max-regress slower.
 package main
 
 import (
@@ -44,6 +53,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchreport: ")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline report to gate ns/op regressions against")
+	gate := flag.String("gate", "BenchmarkSingleRun", "comma-separated benchmark names the -baseline gate checks")
+	maxRegress := flag.Float64("max-regress", 0.30, "maximum tolerated fractional ns/op regression vs -baseline")
 	flag.Parse()
 
 	report, err := parse(bufio.NewScanner(os.Stdin))
@@ -60,11 +72,64 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		log.Fatal(err)
 	}
+	if *baseline != "" {
+		if err := checkRegression(report, *baseline, strings.Split(*gate, ","), *maxRegress); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// minNsPerOp returns the minimum ns/op over a report's repetitions of one
+// benchmark, the standard noise-resistant summary of repeated runs.
+func minNsPerOp(r Report, name string) (float64, bool) {
+	best, found := 0.0, false
+	for _, e := range r.Benchmarks {
+		if e.Name != name {
+			continue
+		}
+		if !found || e.NsPerOp < best {
+			best, found = e.NsPerOp, true
+		}
+	}
+	return best, found
+}
+
+// checkRegression compares the gated benchmarks' minimum ns/op against the
+// baseline report and fails when any regressed by more than maxRegress.
+func checkRegression(cur Report, baselinePath string, gates []string, maxRegress float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing %s: %v", baselinePath, err)
+	}
+	for _, name := range gates {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		want, ok := minNsPerOp(base, name)
+		if !ok {
+			return fmt.Errorf("%s: no %s entry to gate against", baselinePath, name)
+		}
+		got, ok := minNsPerOp(cur, name)
+		if !ok {
+			return fmt.Errorf("current run has no %s entry (did the bench filter match?)", name)
+		}
+		ratio := got/want - 1
+		fmt.Fprintf(os.Stderr, "benchreport: %s min %.0f ns/op vs baseline %.0f ns/op (%+.1f%%)\n",
+			name, got, want, 100*ratio)
+		if ratio > maxRegress {
+			return fmt.Errorf("%s regressed %.1f%% (> %.0f%% allowed) vs %s",
+				name, 100*ratio, 100*maxRegress, baselinePath)
+		}
+	}
+	return nil
 }
 
 // parse extracts benchmark result lines from `go test -bench` output. A

@@ -12,10 +12,11 @@ package experiment
 
 import (
 	"fmt"
-
-	"mstc/internal/geom"
+	"math"
 	"runtime"
 	"sync"
+
+	"mstc/internal/geom"
 
 	"mstc/internal/manet"
 	"mstc/internal/mobility"
@@ -54,6 +55,10 @@ type Options struct {
 	// medium's defaults). Results are independent of the bounded-staleness
 	// knob Radio.Slack by construction; the determinism tests pin that.
 	Radio radio.Config
+	// NoSelectionCache disables the per-node selection cache in every run.
+	// Results are identical with or without it (the determinism tests pin
+	// that); the knob only trades CPU for a differential check.
+	NoSelectionCache bool
 }
 
 // DefaultOptions returns the paper's configuration (§5.1).
@@ -112,26 +117,58 @@ type Run struct {
 	Rep int
 }
 
-// key returns the label deduplicating network substreams per configuration.
+// key returns the label deduplicating network substreams per configuration:
+// FNV-1a over a canonical byte encoding of every configuration-defining
+// field. The protocol name is hashed with a 0 terminator (no prefix
+// aliasing), Speed and Buffer as their exact IEEE-754 bit patterns, the
+// six mechanism booleans as one flag byte, and WeakK as a full word — so
+// any two distinct configurations, including ones differing only in
+// CDSForward / SelfPruning / Proactive (which the previous ad-hoc XOR mix
+// ignored), get distinct substream labels. Rep is deliberately excluded:
+// repetitions of one configuration share the label and are distinguished
+// by the substream index.
 func (r Run) key() uint64 {
-	h := xrand.New(uint64(len(r.Protocol)))
-	for _, c := range []byte(r.Protocol) {
-		h = xrand.New(h.Uint64() + uint64(c))
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	mix := func(b byte) {
+		h = (h ^ uint64(b)) * fnvPrime
 	}
-	k := h.Uint64()
-	k ^= uint64(r.Speed * 1024)
-	k ^= uint64(r.Mech.Buffer*8) << 20
+	word := func(w uint64) {
+		for i := 0; i < 64; i += 8 {
+			mix(byte(w >> i))
+		}
+	}
+	for i := 0; i < len(r.Protocol); i++ {
+		mix(r.Protocol[i])
+	}
+	mix(0)
+	word(math.Float64bits(r.Speed))
+	word(math.Float64bits(r.Mech.Buffer))
+	var flags byte
 	if r.Mech.ViewSync {
-		k ^= 1 << 40
+		flags |= 1
 	}
 	if r.Mech.PhysicalNeighbors {
-		k ^= 1 << 41
+		flags |= 2
 	}
 	if r.Mech.Reactive {
-		k ^= 1 << 42
+		flags |= 4
 	}
-	k ^= uint64(r.Mech.WeakK) << 43
-	return k
+	if r.Mech.CDSForward {
+		flags |= 8
+	}
+	if r.Mech.SelfPruning {
+		flags |= 16
+	}
+	if r.Mech.Proactive {
+		flags |= 32
+	}
+	mix(flags)
+	word(uint64(r.Mech.WeakK))
+	return h
 }
 
 // forEachTask runs fn(i) for every i in [0, n), fanning out over up to
@@ -149,7 +186,9 @@ func forEachTask(workers, n int, fn func(i int)) {
 		workers = n
 	}
 	var wg sync.WaitGroup
-	ch := make(chan int)
+	// Buffered to the task count: the producer below never blocks, so
+	// workers draining fast tasks are fed without a rendezvous per index.
+	ch := make(chan int, n)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -199,11 +238,12 @@ func executeOne(o Options, r Run) (manet.Result, error) {
 		return manet.Result{}, err
 	}
 	cfg := manet.Config{
-		NormalRange: o.NormalRange,
-		Mech:        r.Mech,
-		FloodRate:   o.FloodRate,
-		Radio:       o.Radio,
-		Seed:        xrand.New(o.Seed).Sub('n', r.key(), uint64(r.Rep)).Uint64(),
+		NormalRange:      o.NormalRange,
+		Mech:             r.Mech,
+		FloodRate:        o.FloodRate,
+		Radio:            o.Radio,
+		NoSelectionCache: o.NoSelectionCache,
+		Seed:             xrand.New(o.Seed).Sub('n', r.key(), uint64(r.Rep)).Uint64(),
 	}
 	if r.Mech.WeakK > 0 {
 		w, err := topology.WeakByName(r.Protocol, o.NormalRange)

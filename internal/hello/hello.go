@@ -10,6 +10,7 @@ package hello
 
 import (
 	"fmt"
+	"math"
 
 	"mstc/internal/geom"
 )
@@ -47,6 +48,7 @@ type Table struct {
 	dense  [][]Message       // per-id history views into store (dense form)
 	store  []Message         // flat backing, n slots of capacity k+1
 	live_  int               // dense form: number of non-empty histories
+	ver    uint64            // monotone mutation counter (see Version)
 }
 
 // NewTable creates a table keeping k >= 1 recent messages per neighbor;
@@ -79,8 +81,96 @@ func NewTableN(k int, expiry float64, n int) *Table {
 	return t
 }
 
+// NewTablesN returns count dense tables, each for sender ids in [0, n),
+// with bulk-allocated shared backing: O(1) allocations for the whole batch
+// instead of O(count). This is the per-node table set of a simulation —
+// package manet allocates one table per node and the per-table constructor
+// cost used to dominate network setup.
+func NewTablesN(k int, expiry float64, n, count int) []*Table {
+	if k < 1 {
+		panic(fmt.Sprintf("hello: table with k = %d", k))
+	}
+	if n < 0 || count < 0 {
+		panic(fmt.Sprintf("hello: tables with n = %d, count = %d", n, count))
+	}
+	tables := make([]Table, count)
+	out := make([]*Table, count)
+	store := make([]Message, count*n*k)
+	dense := make([][]Message, count*n)
+	for c := 0; c < count; c++ {
+		t := &tables[c]
+		t.k = k
+		t.expiry = expiry
+		t.store = store[c*n*k : (c+1)*n*k]
+		t.dense = dense[c*n : (c+1)*n]
+		for i := range t.dense {
+			t.dense[i] = t.store[i*k : i*k : (i+1)*k]
+		}
+		out[c] = t
+	}
+	return out
+}
+
 // K returns the per-neighbor history depth.
 func (t *Table) K() int { return t.k }
+
+// Version returns the table's monotone mutation counter: it increases on
+// every state change (message stored or replaced, neighbor forgotten,
+// expired entry collected, reset) and never otherwise. Together with an
+// expiry horizon (StableUntil) it is an O(1) fingerprint of the table's
+// visible contents — the cache key of package manet's selection cache.
+func (t *Table) Version() uint64 { return t.ver }
+
+// StableUntil returns the latest instant through which the table's visible
+// contents are guaranteed unchanged absent mutations: the earliest expiry
+// deadline over currently-live histories (+Inf when nothing can expire).
+// For any now' in [now, StableUntil(now)] with Version unchanged, every
+// query (Latest, Versioned, AsOf, History) returns the same messages at
+// now' as at now — entries live at now stay live through the horizon, and
+// entries already expired can only revive via a new message, which bumps
+// Version.
+func (t *Table) StableUntil(now float64) float64 {
+	horizon := math.Inf(1)
+	if t.expiry <= 0 {
+		return horizon
+	}
+	if t.m == nil {
+		for _, h := range t.dense {
+			if t.live(h, now) {
+				if d := h[0].SentAt + t.expiry; d < horizon {
+					horizon = d
+				}
+			}
+		}
+		return horizon
+	}
+	//lint:order-independent
+	for _, h := range t.m {
+		if t.live(h, now) {
+			if d := h[0].SentAt + t.expiry; d < horizon {
+				horizon = d
+			}
+		}
+	}
+	return horizon
+}
+
+// Reset drops all stored state in place and sets a (possibly new) expiry,
+// reusing the table's backing storage. Unlike constructing a fresh table,
+// Reset keeps the mutation counter monotone, so stale cache entries keyed
+// by Version can never alias the post-reset state.
+func (t *Table) Reset(expiry float64) {
+	t.expiry = expiry
+	t.ver++
+	if t.m != nil {
+		clear(t.m)
+		return
+	}
+	for i := range t.dense {
+		t.dense[i] = t.dense[i][:0]
+	}
+	t.live_ = 0
+}
 
 // history returns the stored (possibly expired) history for id, or nil.
 func (t *Table) history(id int) []Message {
@@ -138,16 +228,23 @@ func (t *Table) Observe(msg Message) {
 	default:
 		return // older than all k stored versions of a full history
 	}
+	t.ver++
 	t.setHistory(msg.From, h)
 }
 
 // Forget removes all state for the given neighbor.
 func (t *Table) Forget(id int) {
 	if t.m != nil {
-		delete(t.m, id)
+		if _, ok := t.m[id]; ok {
+			t.ver++
+			delete(t.m, id)
+		}
 		return
 	}
 	if id >= 0 && id < len(t.dense) {
+		if len(t.dense[id]) > 0 {
+			t.ver++
+		}
 		t.setHistory(id, t.dense[id][:0])
 	}
 }
@@ -326,6 +423,9 @@ func (t *Table) GC(now float64) int {
 				dropped++
 			}
 		}
+		if dropped > 0 {
+			t.ver++
+		}
 		return dropped
 	}
 	//lint:order-independent
@@ -334,6 +434,9 @@ func (t *Table) GC(now float64) int {
 			delete(t.m, id)
 			dropped++
 		}
+	}
+	if dropped > 0 {
+		t.ver++
 	}
 	return dropped
 }

@@ -125,6 +125,11 @@ type Config struct {
 	// normalized energy units (default 2). Accounting only — it does not
 	// affect protocol behavior.
 	EnergyAlpha float64
+	// NoSelectionCache disables the version-keyed selection cache, forcing
+	// every selection to rebuild its view and rerun the protocol. Results
+	// are identical either way — the knob exists so differential tests can
+	// prove it.
+	NoSelectionCache bool
 	// Seed drives every stochastic choice of the run.
 	Seed uint64
 }

@@ -3,6 +3,7 @@ package manet
 import (
 	"math"
 
+	"mstc/internal/radio"
 	"mstc/internal/sim"
 )
 
@@ -95,29 +96,68 @@ func (nw *Network) transmit(fl *flood, sender int, now sim.Time) {
 		if !nw.cfg.Mech.PhysicalNeighbors && !nd.isLogical[rid] {
 			continue // dropped at the topology layer
 		}
-		rid := rid
 		delay := airtime + nw.med.Delay() + nw.rng.Uniform(0, nw.cfg.ForwardJitterMax)
-		nw.eng.ScheduleIn(delay, func(later sim.Time) {
-			// Acceptance resolves at delivery: the node may have accepted
-			// a concurrent copy meanwhile, and under the collision MAC
-			// this copy may have been jammed.
-			if fl.accepted[rid] || nw.nodes[rid].isDown(later) {
-				return
-			}
-			if airtime > 0 && nw.med.Collides(tx, rid) {
-				return
-			}
-			fl.accepted[rid] = true
-			fl.count++
-			if senderCover != nil && !nw.coversNew(rid, later, senderCover) {
-				return // self-pruned: everything we reach was covered
-			}
-			if nw.cfg.Mech.CDSForward && !nw.nodes[rid].cdsMarked {
-				return // non-gateway: deliver but do not re-forward
-			}
-			nw.transmit(fl, rid, later)
-		})
+		d := nw.newDelivery()
+		d.fl, d.rid, d.tx, d.cover, d.airtime = fl, rid, tx, senderCover, airtime
+		nw.eng.ScheduleActorIn(delay, d)
 	}
+}
+
+// delivery is one pending flood-packet reception. Deliveries are pooled on
+// the Network (a singly-linked freelist) and scheduled as sim.Actors, so
+// the per-receiver forwarding step costs no closure allocation — the struct
+// pointer rides in the event queue's interface value as-is.
+type delivery struct {
+	nw      *Network
+	fl      *flood
+	rid     int
+	tx      radio.Tx
+	cover   map[int]bool // sender's covered set (self-pruning), nil otherwise
+	airtime float64
+	next    *delivery // freelist link, nil while scheduled
+}
+
+// Act resolves the delivery. Acceptance resolves here, at delivery time:
+// the node may have accepted a concurrent copy meanwhile, and under the
+// collision MAC this copy may have been jammed.
+func (d *delivery) Act(later sim.Time) {
+	nw, fl, rid := d.nw, d.fl, d.rid
+	tx, cover, airtime := d.tx, d.cover, d.airtime
+	// Release before resolving: the recursive transmit below may pool new
+	// deliveries, and d's payload is already copied out.
+	nw.releaseDelivery(d)
+	if fl.accepted[rid] || nw.nodes[rid].isDown(later) {
+		return
+	}
+	if airtime > 0 && nw.med.Collides(tx, rid) {
+		return
+	}
+	fl.accepted[rid] = true
+	fl.count++
+	if cover != nil && !nw.coversNew(rid, later, cover) {
+		return // self-pruned: everything we reach was covered
+	}
+	if nw.cfg.Mech.CDSForward && !nw.nodes[rid].cdsMarked {
+		return // non-gateway: deliver but do not re-forward
+	}
+	nw.transmit(fl, rid, later)
+}
+
+// newDelivery pops a pooled delivery (or allocates the pool's next one).
+func (nw *Network) newDelivery() *delivery {
+	if d := nw.freeDel; d != nil {
+		nw.freeDel = d.next
+		d.next = nil
+		return d
+	}
+	return &delivery{nw: nw}
+}
+
+// releaseDelivery clears d's payload (dropping the flood and cover-map
+// references) and pushes it back on the freelist.
+func (nw *Network) releaseDelivery(d *delivery) {
+	*d = delivery{nw: nw, next: nw.freeDel}
+	nw.freeDel = d
 }
 
 // coversNew reports whether node id knows a neighbor outside the sender's

@@ -22,13 +22,15 @@ type node struct {
 	advertisedPos geom.Point
 	advertisedAt  float64
 	table         *hello.Table
-	ownHist       []hello.Message // own recent advertisements, newest first
-	logical       []int           // current logical neighbor ids (ascending)
-	isLogical     []bool          // membership mask, len = n
+	ownLen        int                         // live entries in ownHist
+	ownHist       [ownHistDepth]hello.Message // own recent advertisements, newest first
+	logical       []int                       // current logical neighbor ids (ascending)
+	isLogical     []bool                      // membership mask, len = n
 	actualRange   float64
 	txRange       float64 // actual + buffer, clamped
 	cdsMarked     bool    // own Wu-Li marked status (CDSForward mechanism)
 	downUntil     float64 // churn: node is failed until this instant
+	cache         selCache
 }
 
 // isDown reports whether the node is failed at time t.
@@ -39,26 +41,55 @@ func (nd *node) isDown(t float64) bool { return t < nd.downUntil }
 const ownHistDepth = 4
 
 func (nd *node) recordOwn(msg hello.Message) {
-	nd.ownHist = append(nd.ownHist, hello.Message{})
-	copy(nd.ownHist[1:], nd.ownHist)
+	copy(nd.ownHist[1:], nd.ownHist[:ownHistDepth-1])
 	nd.ownHist[0] = msg
-	if len(nd.ownHist) > ownHistDepth {
-		nd.ownHist = nd.ownHist[:ownHistDepth]
+	if nd.ownLen < ownHistDepth {
+		nd.ownLen++
 	}
 }
 
 // ownAsOf returns the node's newest advertisement with version <= v, falling
 // back to the oldest stored one.
 func (nd *node) ownAsOf(v uint64) hello.Message {
-	for _, m := range nd.ownHist {
+	for _, m := range nd.ownHist[:nd.ownLen] {
 		if m.Version <= v {
 			return m
 		}
 	}
-	if len(nd.ownHist) > 0 {
-		return nd.ownHist[len(nd.ownHist)-1]
+	if nd.ownLen > 0 {
+		return nd.ownHist[nd.ownLen-1]
 	}
 	return hello.Message{From: nd.id, Pos: nd.advertisedPos}
+}
+
+// Selection cache modes: one per distinct view-construction path. The modes
+// never share entries — a node's cache holds the result of whichever path
+// ran last.
+const (
+	selModeLatest    = uint8(iota + 1) // updateSelection: latest messages
+	selModeVersioned                   // selectFromVersion: one exact version
+	selModeAsOf                        // selectAsOf: newest version <= pin
+)
+
+// selCache memoizes one node's last selection, keyed by an O(1) fingerprint
+// of the view it was computed from: the hello table's mutation counter plus
+// an expiry horizon (the table's visible contents are provably unchanged
+// while the counter holds and now stays within [filledAt, stableUntil] —
+// expired entries can only revive through Observe, which bumps the counter,
+// and simulation time is monotone), the node's own view position, and the
+// mode discriminant with its pinned version. On a hit the selected set is
+// replayed verbatim; only the transmission range is recomputed, from the
+// node's current physical position against the cached neighbor positions —
+// exactly what ActualRange computes on the miss path.
+type selCache struct {
+	mode        uint8
+	tableVer    uint64
+	pin         uint64 // version (reactive) / pin (proactive); 0 for latest
+	selfPos     geom.Point
+	filledAt    float64
+	stableUntil float64
+	sel         []int
+	selPos      []geom.Point // cached positions of the selected neighbors
 }
 
 // Network is one simulation run. Build with NewNetwork, drive with Run.
@@ -92,15 +123,19 @@ type Network struct {
 	// nothing built from these buffers outlives the event that filled it
 	// (selectors do not retain view slices, and anything stored — logical
 	// sets, Hello payloads — is copied out).
-	msgBuf     []hello.Message       // Table.*Into scratch
-	nbrBuf     []topology.NodeInfo   // View.Neighbors scratch
+	msgBuf     []hello.Message     // Table.*Into scratch
+	nbrBuf     []topology.NodeInfo // View.Neighbors scratch
 	multiBuf   []topology.MultiNodeInfo
 	posBuf     []geom.Point // flat backing for MultiNodeInfo.Positions
 	histBuf    []hello.Message
 	selfPosBuf []geom.Point
-	cdsNbrOf   map[int][]int // reused cds.View.NeighborsOf
+	selBuf     []int            // SelectInto output scratch
+	scratch    topology.Scratch // protocol-kernel working storage
+	cdsNbrOf   map[int][]int    // reused cds.View.NeighborsOf
 	cdsNbrBuf  []int
 	cdsMarkBuf map[int]bool
+
+	freeDel *delivery // freelist of pooled flood deliveries
 }
 
 // NewNetwork builds a run over the given mobility model.
@@ -139,14 +174,33 @@ func NewNetwork(model mobility.Model, cfg Config) (*Network, error) {
 		k = 3
 		expiry = math.Max(expiry, 3*cfg.HelloMax)
 	}
+	// Bulk-allocate the per-node state: one node array, one shared hello
+	// table backing, one flat membership mask — O(1) allocations where the
+	// per-node constructors cost O(n).
+	backing := make([]node, n)
+	tables := hello.NewTablesN(k, expiry, n, n)
+	masks := make([]bool, n*n)
+	// Logical neighbor sets are small (2-8 for every protocol in the
+	// registry), so per-node selection storage — the live set plus the
+	// cache's replay copy — comes from three shared backing arrays, each
+	// handing every node a fixed-capacity window. A node outgrowing its
+	// window falls back to a plain append reallocation, so the capacity is
+	// a fast path, not a limit.
+	const selCap = 8
+	logBack := make([]int, n*selCap)
+	selBack := make([]int, n*selCap)
+	posBack := make([]geom.Point, n*selCap)
 	for i := 0; i < n; i++ {
 		sub := root.Sub('h', uint64(i))
-		nw.nodes[i] = &node{
-			id:        i,
-			interval:  sub.Uniform(cfg.HelloMin, cfg.HelloMax),
-			table:     hello.NewTableN(k, expiry, n),
-			isLogical: make([]bool, n),
-		}
+		nd := &backing[i]
+		nd.id = i
+		nd.interval = sub.Uniform(cfg.HelloMin, cfg.HelloMax)
+		nd.table = tables[i]
+		nd.isLogical = masks[i*n : (i+1)*n : (i+1)*n]
+		nd.logical = logBack[i*selCap : i*selCap : (i+1)*selCap]
+		nd.cache.sel = selBack[i*selCap : i*selCap : (i+1)*selCap]
+		nd.cache.selPos = posBack[i*selCap : i*selCap : (i+1)*selCap]
+		nw.nodes[i] = nd
 	}
 	return nw, nil
 }
@@ -179,8 +233,10 @@ func (nw *Network) Run(duration float64) Result {
 				down := rng.ExpFloat64() * nw.cfg.Churn.MeanDown
 				nd.downUntil = now + down
 				// Losing state on failure: the node reboots with an
-				// empty neighbor table and no selection.
-				nd.table = hello.NewTableN(nd.table.K(), nw.cfg.HelloExpiry, len(nw.nodes))
+				// empty neighbor table and no selection. Reset keeps the
+				// table's mutation counter monotone, so selection-cache
+				// entries from before the failure can never be replayed.
+				nd.table.Reset(nw.cfg.HelloExpiry)
 				nw.setSelection(nd, nil, 0)
 				nw.eng.Schedule(now+down+rng.ExpFloat64()*nw.cfg.Churn.MeanUp, fail)
 			}
@@ -351,6 +407,9 @@ func (nw *Network) updateSelection(nd *node, now sim.Time, selfPos geom.Point) {
 		nw.selectWeak(nd, now)
 		return
 	}
+	if nw.replayCached(nd, now, selModeLatest, 0, selfPos) {
+		return
+	}
 	nw.msgBuf = nd.table.LatestInto(nw.msgBuf[:0], now)
 	nw.nbrBuf = nw.nbrBuf[:0]
 	for _, m := range nw.msgBuf {
@@ -358,7 +417,9 @@ func (nw *Network) updateSelection(nd *node, now sim.Time, selfPos geom.Point) {
 	}
 	v := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: selfPos}, Neighbors: nw.nbrBuf}
 	v = v.EnsureCanon()
-	sel := nw.cfg.Protocol.Select(v)
+	nw.selBuf = topology.SelectInto(nw.cfg.Protocol, v, nw.selBuf[:0], &nw.scratch)
+	sel := nw.selBuf
+	nw.fillCache(nd, now, selModeLatest, 0, selfPos, v, sel)
 	cur := nw.med.PositionAt(nd.id, now)
 	if cur != selfPos {
 		v.Self.Pos = cur
@@ -369,6 +430,9 @@ func (nw *Network) updateSelection(nd *node, now sim.Time, selfPos geom.Point) {
 // selectFromVersion is updateSelection restricted to messages of one
 // version (reactive scheme).
 func (nw *Network) selectFromVersion(nd *node, now sim.Time, ver uint64) {
+	if nw.replayCached(nd, now, selModeVersioned, ver, nd.advertisedPos) {
+		return
+	}
 	nw.msgBuf = nd.table.VersionedInto(nw.msgBuf[:0], ver, now)
 	nw.nbrBuf = nw.nbrBuf[:0]
 	for _, m := range nw.msgBuf {
@@ -376,7 +440,9 @@ func (nw *Network) selectFromVersion(nd *node, now sim.Time, ver uint64) {
 	}
 	v := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: nd.advertisedPos}, Neighbors: nw.nbrBuf}
 	v = v.EnsureCanon()
-	sel := nw.cfg.Protocol.Select(v)
+	nw.selBuf = topology.SelectInto(nw.cfg.Protocol, v, nw.selBuf[:0], &nw.scratch)
+	sel := nw.selBuf
+	nw.fillCache(nd, now, selModeVersioned, ver, nd.advertisedPos, v, sel)
 	v.Self.Pos = nw.med.PositionAt(nd.id, now)
 	nw.applySelection(nd, v, sel)
 }
@@ -388,6 +454,9 @@ func (nw *Network) selectFromVersion(nd *node, now sim.Time, ver uint64) {
 // same messages, giving the consistent views of the proactive scheme.
 func (nw *Network) selectAsOf(nd *node, now sim.Time, v uint64) {
 	own := nd.ownAsOf(v)
+	if nw.replayCached(nd, now, selModeAsOf, v, own.Pos) {
+		return
+	}
 	nw.msgBuf = nd.table.AsOfInto(nw.msgBuf[:0], v, now)
 	nw.nbrBuf = nw.nbrBuf[:0]
 	for _, m := range nw.msgBuf {
@@ -395,9 +464,64 @@ func (nw *Network) selectAsOf(nd *node, now sim.Time, v uint64) {
 	}
 	view := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: own.Pos}, Neighbors: nw.nbrBuf}
 	view = view.EnsureCanon()
-	sel := nw.cfg.Protocol.Select(view)
+	nw.selBuf = topology.SelectInto(nw.cfg.Protocol, view, nw.selBuf[:0], &nw.scratch)
+	sel := nw.selBuf
+	nw.fillCache(nd, now, selModeAsOf, v, own.Pos, view, sel)
 	view.Self.Pos = nw.med.PositionAt(nd.id, now)
 	nw.applySelection(nd, view, sel)
+}
+
+// replayCached replays nd's memoized selection when the cached fingerprint
+// still describes the view the caller would build: same construction mode
+// and pinned version, same own position, an unchanged table mutation
+// counter, and a query time inside the cached validity window (at or after
+// the fill, at or before the expiry horizon — Table.StableUntil guarantees
+// every table query answers identically across that window). The selected
+// set is replayed as-is; the transmission range is recomputed from the
+// node's current physical position over the cached neighbor positions,
+// which is precisely ActualRange of the miss path's final view.
+func (nw *Network) replayCached(nd *node, now sim.Time, mode uint8, pin uint64, selfPos geom.Point) bool {
+	c := &nd.cache
+	if nw.cfg.NoSelectionCache || c.mode != mode || c.pin != pin ||
+		c.tableVer != nd.table.Version() || c.selfPos != selfPos ||
+		now < c.filledAt || now > c.stableUntil {
+		return false
+	}
+	cur := nw.med.PositionAt(nd.id, now)
+	r := 0.0
+	for _, p := range c.selPos {
+		if d := cur.Dist(p); d > r {
+			r = d
+		}
+	}
+	nw.setSelection(nd, c.sel, r)
+	return true
+}
+
+// fillCache records the just-computed selection with its view fingerprint.
+// Neighbor positions are copied out of the (scratch-backed) view for the
+// hit path's range recomputation; sel and v.Neighbors both ascend by id, so
+// a merge scan pairs them in one pass.
+func (nw *Network) fillCache(nd *node, now sim.Time, mode uint8, pin uint64, selfPos geom.Point, v topology.View, sel []int) {
+	if nw.cfg.NoSelectionCache {
+		return
+	}
+	c := &nd.cache
+	c.mode, c.pin, c.selfPos = mode, pin, selfPos
+	c.tableVer = nd.table.Version()
+	c.filledAt = now
+	c.stableUntil = nd.table.StableUntil(now)
+	c.sel = append(c.sel[:0], sel...)
+	c.selPos = c.selPos[:0]
+	j := 0
+	for _, id := range sel {
+		for j < len(v.Neighbors) && v.Neighbors[j].ID < id {
+			j++
+		}
+		if j < len(v.Neighbors) && v.Neighbors[j].ID == id {
+			c.selPos = append(c.selPos, v.Neighbors[j].Pos)
+		}
+	}
 }
 
 // selectWeak recomputes nd's selection under weak consistency: the view
@@ -425,7 +549,8 @@ func (nw *Network) selectWeak(nd *node, now sim.Time) {
 		nw.multiBuf = append(nw.multiBuf, topology.MultiNodeInfo{ID: m.From, Positions: nw.posBuf[start:len(nw.posBuf):len(nw.posBuf)]})
 	}
 	mv := topology.MultiView{Self: self, Neighbors: nw.multiBuf}
-	sel := nw.cfg.Weak.SelectWeak(mv)
+	nw.selBuf = topology.SelectWeakInto(nw.cfg.Weak, mv, nw.selBuf[:0], &nw.scratch)
+	sel := nw.selBuf
 	// Range must cover the farthest stored position of every selected
 	// neighbor (conservative). sel and mv.Neighbors both ascend by id, so
 	// a single merge scan finds each selected neighbor — O(sel + nbrs)

@@ -21,10 +21,28 @@ type Time = float64
 // Event is a callback invoked at its scheduled instant.
 type Event func(now Time)
 
+// Actor is the allocation-conscious alternative to Event: scheduling a
+// pointer-shaped Actor stores it in the queue as a plain interface value,
+// so callers that pool their actor structs schedule without the per-event
+// closure allocation an Event capture costs.
+type Actor interface {
+	Act(now Time)
+}
+
 type item struct {
 	at  Time
 	seq uint64
 	fn  Event
+	act Actor
+}
+
+// run dispatches the item to its callback.
+func (it *item) run() {
+	if it.act != nil {
+		it.act.Act(it.at)
+		return
+	}
+	it.fn(it.at)
 }
 
 // eventHeap is a hand-rolled binary min-heap over items. container/heap
@@ -127,6 +145,30 @@ func (e *Engine) ScheduleIn(d Time, fn Event) {
 	e.Schedule(e.now+d, fn)
 }
 
+// ScheduleActor enqueues a to run at the absolute instant at, interleaved
+// with Event callbacks in the same timestamp-then-FIFO order.
+func (e *Engine) ScheduleActor(at Time, a Actor) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	if math.IsNaN(at) {
+		panic("sim: scheduling at NaN")
+	}
+	if a == nil {
+		panic("sim: nil actor")
+	}
+	e.seq++
+	e.queue.push(item{at: at, seq: e.seq, act: a})
+}
+
+// ScheduleActorIn enqueues a to run after delay d (>= 0) from Now.
+func (e *Engine) ScheduleActorIn(d Time, a Actor) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.ScheduleActor(e.now+d, a)
+}
+
 // Every schedules fn at start and then every interval seconds forever
 // (until the run horizon cuts it off). fn runs before the next occurrence
 // is scheduled, so fn may Stop the engine to cancel the series.
@@ -152,7 +194,7 @@ func (e *Engine) Step() bool {
 	}
 	it := e.queue.pop()
 	e.now = it.at
-	it.fn(it.at)
+	it.run()
 	return true
 }
 
@@ -165,7 +207,7 @@ func (e *Engine) Run(until Time) int {
 	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= until {
 		it := e.queue.pop()
 		e.now = it.at
-		it.fn(it.at)
+		it.run()
 		n++
 	}
 	return n

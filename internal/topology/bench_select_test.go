@@ -1,0 +1,39 @@
+package topology
+
+import (
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/xrand"
+)
+
+// benchView builds one node's view at the paper's density: 100 nodes in a
+// 900 m square, 250 m normal range (~24 neighbors).
+func benchView() View {
+	rng := xrand.New(9)
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Uniform(0, 900), rng.Uniform(0, 900))
+	}
+	return viewOf(pts, 0, normalRange)
+}
+
+func benchSelect(b *testing.B, p Protocol) {
+	v := benchView()
+	s := &Scratch{}
+	var dst []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = SelectInto(p, v, dst[:0], s)
+	}
+	if len(dst) == 0 {
+		b.Fatal("selected nothing")
+	}
+}
+
+func BenchmarkRNGSelect(b *testing.B)     { benchSelect(b, RNG{}) }
+func BenchmarkGabrielSelect(b *testing.B) { benchSelect(b, Gabriel{}) }
+func BenchmarkMSTSelect(b *testing.B)     { benchSelect(b, MST{Range: normalRange}) }
+func BenchmarkSPTSelect(b *testing.B)     { benchSelect(b, SPT{Alpha: 2, Range: normalRange}) }
+func BenchmarkYaoSelect(b *testing.B)     { benchSelect(b, Yao{K: 6}) }

@@ -31,22 +31,23 @@ type RNG struct{}
 func (RNG) Name() string { return "RNG" }
 
 // Select implements Protocol.
-func (RNG) Select(v View) []int {
-	out := make([]int, 0, 4)
+func (r RNG) Select(v View) []int {
+	return r.SelectInto(v, make([]int, 0, 4), &Scratch{})
+}
+
+// SelectInto implements ScratchSelector.
+func (RNG) SelectInto(v View, dst []int, s *Scratch) []int {
 	u := v.Self
 	// Cache cost(u, w) per witness: the naive double loop recomputes each
 	// of these d times, and the distance (hypot) dominates the selection
 	// profile. The witness cost cost(w, v) is only needed once the first
 	// LinkLess condition holds, so it is computed lazily — same values,
 	// same comparisons, identical output.
-	var buf [64]float64
-	cU := buf[:0]
-	if len(v.Neighbors) > len(buf) {
-		cU = make([]float64, 0, len(v.Neighbors))
-	}
+	cU := grown(s.costs, len(v.Neighbors))[:0]
 	for _, n := range v.Neighbors {
 		cU = append(cU, u.Pos.Dist(n.Pos))
 	}
+	s.costs = cU
 	for i, n := range v.Neighbors {
 		cUV := cU[i]
 		removed := false
@@ -64,10 +65,10 @@ func (RNG) Select(v View) []int {
 			}
 		}
 		if !removed {
-			out = append(out, n.ID)
+			dst = append(dst, n.ID)
 		}
 	}
-	return out
+	return dst
 }
 
 // Gabriel is the Gabriel-graph special case of the RNG protocol: the
@@ -79,8 +80,12 @@ type Gabriel struct{}
 func (Gabriel) Name() string { return "GG" }
 
 // Select implements Protocol.
-func (Gabriel) Select(v View) []int {
-	out := make([]int, 0, 4)
+func (g Gabriel) Select(v View) []int {
+	return g.SelectInto(v, make([]int, 0, 4), &Scratch{})
+}
+
+// SelectInto implements ScratchSelector.
+func (Gabriel) SelectInto(v View, dst []int, _ *Scratch) []int {
 	for _, n := range v.Neighbors {
 		removed := false
 		for _, w := range v.Neighbors {
@@ -90,10 +95,10 @@ func (Gabriel) Select(v View) []int {
 			}
 		}
 		if !removed {
-			out = append(out, n.ID)
+			dst = append(dst, n.ID)
 		}
 	}
-	return out
+	return dst
 }
 
 // MST is the local-MST-based protocol (LMST, Li/Hou/Sha 2003; link-removal
@@ -113,18 +118,101 @@ func (MST) Name() string { return "MST" }
 
 // Select implements Protocol.
 func (m MST) Select(v View) []int {
-	ids, selfIdx, g := viewGraph(v, m.Range, DistanceCost)
-	edges, _ := graph.PrimMST(g)
-	out := make([]int, 0, 4)
-	for _, e := range edges {
-		if e.U == selfIdx {
-			out = append(out, ids[e.V])
-		} else if e.V == selfIdx {
-			out = append(out, ids[e.U])
+	return m.SelectInto(v, make([]int, 0, 4), &Scratch{})
+}
+
+// SelectInto implements ScratchSelector. The kernel is graph.PrimMST
+// replayed over a dense scratch weight matrix: the per-vertex candidate
+// comparison (mstLess), the heap's (key, node) order with sift operations
+// matching container/heap's, the ascending-index relaxation order (the
+// historical adjacency lists list neighbors ascending), and the
+// per-component restart are all replicated, so the kernel commits exactly
+// the tree edges the historical viewGraph + graph.PrimMST implementation
+// commits — including which of several equal-weight candidates wins.
+// TestMSTKernelMatchesPrim pins the equivalence on tie-heavy inputs.
+func (m MST) SelectInto(v View, dst []int, s *Scratch) []int {
+	selfIdx := s.viewNodes(v)
+	n := len(s.ids)
+	s.w = grown(s.w, n*n)
+	r2 := rangeBound(m.Range)
+	inf := math.Inf(1)
+	for i := 0; i < n; i++ {
+		s.w[i*n+i] = inf
+		for j := i + 1; j < n; j++ {
+			c := inf
+			if s.pts[i].Dist2(s.pts[j]) <= r2 {
+				c = s.pts[i].Dist(s.pts[j])
+			}
+			s.w[i*n+j] = c
+			s.w[j*n+i] = c
 		}
 	}
-	sortInts(out)
-	return out
+	s.dist = grown(s.dist, n)
+	s.pred = grown(s.pred, n)
+	s.done = grown(s.done, n)
+	bestW, bestFrom, inTree := s.dist, s.pred, s.done
+	for i := 0; i < n; i++ {
+		bestW[i] = inf
+		bestFrom[i] = -1
+		inTree[i] = false
+	}
+	s.heap = s.heap[:0]
+	start := len(dst)
+	for st := 0; st < n; st++ {
+		if inTree[st] {
+			continue
+		}
+		bestW[st] = 0
+		s.heap.push(nodeKey{key: 0, node: int32(st), from: -1})
+		for len(s.heap) > 0 {
+			it := s.heap.pop()
+			u := int(it.node)
+			if inTree[u] {
+				continue
+			}
+			inTree[u] = true
+			if it.from != -1 {
+				if int(it.from) == selfIdx {
+					dst = append(dst, s.ids[u])
+				} else if u == selfIdx {
+					dst = append(dst, s.ids[it.from])
+				}
+			}
+			row := s.w[u*n : u*n+n]
+			for nb := 0; nb < n; nb++ {
+				w := row[nb]
+				if math.IsInf(w, 1) || inTree[nb] {
+					continue
+				}
+				if mstLess(w, u, nb, bestW[nb], int(bestFrom[nb]), nb) {
+					bestW[nb] = w
+					bestFrom[nb] = int32(u)
+					s.heap.push(nodeKey{key: w, node: int32(nb), from: int32(u)})
+				}
+			}
+		}
+	}
+	sortInts(dst[start:])
+	return dst
+}
+
+// mstLess is graph.PrimMST's candidate-edge order: primarily by weight,
+// then by the canonical endpoint pair — a strict total order even with
+// equal weights.
+func mstLess(w1 float64, a1, b1 int, w2 float64, a2, b2 int) bool {
+	if w1 != w2 { //lint:ignore float-eq exact compare is the documented strict total order over edge weights
+		return w1 < w2
+	}
+	if a1 > b1 {
+		a1, b1 = b1, a1
+	}
+	if a2 > b2 {
+		a2, b2 = b2, a2
+	}
+	if a1 != a2 {
+		return a1 < a2
+	}
+	return b1 < b2
 }
 
 // SPT is the minimum-energy (shortest-path-tree-based) protocol
@@ -151,24 +239,87 @@ func (s SPT) Name() string {
 
 // Select implements Protocol.
 func (s SPT) Select(v View) []int {
-	cost := EnergyCost(s.Alpha, s.Fixed)
-	ids, selfIdx, g := viewGraph(v, s.Range, cost)
-	dist, _ := graph.Dijkstra(g, selfIdx)
-	out := make([]int, 0, 4)
-	idx := make(map[int]int, len(ids))
-	for i, id := range ids {
-		idx[id] = i
+	return s.SelectInto(v, make([]int, 0, 4), &Scratch{})
+}
+
+// SelectInto implements ScratchSelector. The kernel runs Dijkstra over a
+// dense scratch weight matrix instead of Select's historical viewGraph +
+// graph.Dijkstra, replicating that implementation's relaxation conditions
+// (including the equal-distance predecessor tie-break) verbatim: the pop
+// order under the (key, node) total order and therefore every computed
+// distance is identical, and TestSPTKernelMatchesDijkstra pins it.
+func (sp SPT) SelectInto(v View, dst []int, s *Scratch) []int {
+	if sp.Alpha < 1 {
+		panic(fmt.Sprintf("topology: EnergyCost alpha %g < 1", sp.Alpha))
 	}
-	for _, n := range v.Neighbors {
-		direct := cost(v.Self.Pos.Dist(n.Pos))
+	selfIdx := s.viewNodes(v)
+	n := len(s.ids)
+	s.w = grown(s.w, n*n)
+	r2 := rangeBound(sp.Range)
+	inf := math.Inf(1)
+	for i := 0; i < n; i++ {
+		s.w[i*n+i] = inf
+		for j := i + 1; j < n; j++ {
+			c := inf
+			if s.pts[i].Dist2(s.pts[j]) <= r2 {
+				c = math.Pow(s.pts[i].Dist(s.pts[j]), sp.Alpha) + sp.Fixed
+			}
+			s.w[i*n+j] = c
+			s.w[j*n+i] = c
+		}
+	}
+	dist := s.denseDijkstra(n, selfIdx)
+	for i, nb := range v.Neighbors {
+		direct := math.Pow(v.Self.Pos.Dist(nb.Pos), sp.Alpha) + sp.Fixed
+		idx := i
+		if i >= selfIdx {
+			idx = i + 1
+		}
 		// Keep the link unless a strictly cheaper indirect path exists.
 		// dist includes the direct edge, so dist <= direct always holds
 		// when the edge is usable; equality means direct is optimal.
-		if dist[idx[n.ID]] >= direct {
-			out = append(out, n.ID)
+		if dist[idx] >= direct {
+			dst = append(dst, nb.ID)
 		}
 	}
-	return out
+	return dst
+}
+
+// denseDijkstra is graph.Dijkstra over the scratch's dense n×n weight
+// matrix (+Inf = no edge), with identical relaxation and tie-breaking.
+func (s *Scratch) denseDijkstra(n, src int) []float64 {
+	s.dist = grown(s.dist, n)
+	s.pred = grown(s.pred, n)
+	s.done = grown(s.done, n)
+	inf := math.Inf(1)
+	for i := 0; i < n; i++ {
+		s.dist[i] = inf
+		s.pred[i] = -1
+		s.done[i] = false
+	}
+	s.dist[src] = 0
+	s.heap = append(s.heap[:0], nodeKey{key: 0, node: int32(src)})
+	pq := &s.heap
+	for len(*pq) > 0 {
+		u := int(pq.pop().node)
+		if s.done[u] {
+			continue
+		}
+		s.done[u] = true
+		for v := 0; v < n; v++ {
+			w := s.w[u*n+v]
+			if math.IsInf(w, 1) {
+				continue
+			}
+			nd := s.dist[u] + w
+			if nd < s.dist[v] || (nd == s.dist[v] && !s.done[v] && (s.pred[v] == -1 || int32(u) < s.pred[v])) { //lint:ignore float-eq exact tie-break selects the lowest-id predecessor deterministically
+				s.dist[v] = nd
+				s.pred[v] = int32(u)
+				pq.push(nodeKey{key: nd, node: int32(v)})
+			}
+		}
+	}
+	return s.dist
 }
 
 // Yao is the Yao-graph-based protocol: the disk around u is divided into K
@@ -184,10 +335,16 @@ func (y Yao) Name() string { return fmt.Sprintf("Yao-%d", y.K) }
 
 // Select implements Protocol.
 func (y Yao) Select(v View) []int {
+	return y.SelectInto(v, make([]int, 0, y.K), &Scratch{})
+}
+
+// SelectInto implements ScratchSelector.
+func (y Yao) SelectInto(v View, dst []int, s *Scratch) []int {
 	if y.K <= 0 {
 		panic(fmt.Sprintf("topology: Yao with K = %d", y.K))
 	}
-	best := make([]int, y.K) // index into v.Neighbors, -1 = empty
+	best := grown(s.best, y.K) // index into v.Neighbors, -1 = empty
+	s.best = best
 	for i := range best {
 		best[i] = -1
 	}
@@ -204,14 +361,14 @@ func (y Yao) Select(v View) []int {
 			best[c] = i
 		}
 	}
-	out := make([]int, 0, y.K)
+	start := len(dst)
 	for _, i := range best {
 		if i != -1 {
-			out = append(out, v.Neighbors[i].ID)
+			dst = append(dst, v.Neighbors[i].ID)
 		}
 	}
-	sortInts(out)
-	return out
+	sortInts(dst[start:])
+	return dst
 }
 
 // None is the null protocol: every 1-hop neighbor is logical. It models the
@@ -222,12 +379,16 @@ type None struct{}
 func (None) Name() string { return "none" }
 
 // Select implements Protocol.
-func (None) Select(v View) []int {
-	out := make([]int, len(v.Neighbors))
-	for i, n := range v.Neighbors {
-		out[i] = n.ID
+func (n None) Select(v View) []int {
+	return n.SelectInto(v, make([]int, 0, len(v.Neighbors)), &Scratch{})
+}
+
+// SelectInto implements ScratchSelector.
+func (None) SelectInto(v View, dst []int, _ *Scratch) []int {
+	for _, n := range v.Neighbors {
+		dst = append(dst, n.ID)
 	}
-	return out
+	return dst
 }
 
 // viewGraph builds the local-view graph used by MST and SPT selection.

@@ -367,32 +367,3 @@ func TestViewCanon(t *testing.T) {
 		t.Error("Find(77) should fail")
 	}
 }
-
-func BenchmarkRNGSelect(b *testing.B) {
-	pts := mobility.UniformPoints(arena, 100, xrand.New(1))
-	v := viewOf(pts, 0, normalRange)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		RNG{}.Select(v)
-	}
-}
-
-func BenchmarkMSTSelect(b *testing.B) {
-	pts := mobility.UniformPoints(arena, 100, xrand.New(1))
-	v := viewOf(pts, 0, normalRange)
-	p := MST{Range: normalRange}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.Select(v)
-	}
-}
-
-func BenchmarkSPT2Select(b *testing.B) {
-	pts := mobility.UniformPoints(arena, 100, xrand.New(1))
-	v := viewOf(pts, 0, normalRange)
-	p := SPT{Alpha: 2, Range: normalRange}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.Select(v)
-	}
-}

@@ -1,0 +1,236 @@
+package topology
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/graph"
+	"mstc/internal/xrand"
+)
+
+// randView builds a random canonical view with ids drawn from a sparse id
+// space. Coordinates snap to a coarse grid so equal distances (and therefore
+// cost ties) actually occur, exercising every tie-break path.
+func randView(rng *xrand.Source, maxNbrs int) View {
+	n := rng.Intn(maxNbrs + 1)
+	ids := rng.Perm(3 * (n + 1))[: n+1 : n+1]
+	sortInts(ids)
+	selfAt := rng.Intn(n + 1)
+	pt := func() geom.Point {
+		return geom.Pt(float64(rng.Intn(12))*25, float64(rng.Intn(12))*25)
+	}
+	v := View{Self: NodeInfo{ID: ids[selfAt], Pos: pt()}}
+	for i, id := range ids {
+		if i == selfAt {
+			continue
+		}
+		v.Neighbors = append(v.Neighbors, NodeInfo{ID: id, Pos: pt()})
+	}
+	return v.Canon()
+}
+
+// randMultiView is randView with up to k positions per node.
+func randMultiView(rng *xrand.Source, maxNbrs, k int) MultiView {
+	v := randView(rng, maxNbrs)
+	multi := func(p geom.Point) []geom.Point {
+		pos := []geom.Point{p}
+		for len(pos) < 1+rng.Intn(k) {
+			pos = append(pos, geom.Pt(p.X+float64(rng.Intn(5))*10, p.Y+float64(rng.Intn(5))*10))
+		}
+		return pos
+	}
+	mv := MultiView{Self: MultiNodeInfo{ID: v.Self.ID, Positions: multi(v.Self.Pos)}}
+	for _, nb := range v.Neighbors {
+		mv.Neighbors = append(mv.Neighbors, MultiNodeInfo{ID: nb.ID, Positions: multi(nb.Pos)})
+	}
+	return mv
+}
+
+// refMSTSelect is the historical MST.Select implementation (viewGraph +
+// graph.PrimMST), kept as the reference the Prim-replay kernel must match.
+func refMSTSelect(m MST, v View) []int {
+	ids, selfIdx, g := viewGraph(v, m.Range, DistanceCost)
+	edges, _ := graph.PrimMST(g)
+	out := make([]int, 0, 4)
+	for _, e := range edges {
+		if e.U == selfIdx {
+			out = append(out, ids[e.V])
+		} else if e.V == selfIdx {
+			out = append(out, ids[e.U])
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// refSPTSelect is the historical SPT.Select implementation (viewGraph +
+// graph.Dijkstra), kept as the reference the dense-Dijkstra kernel must
+// match.
+func refSPTSelect(s SPT, v View) []int {
+	cost := EnergyCost(s.Alpha, s.Fixed)
+	ids, selfIdx, g := viewGraph(v, s.Range, cost)
+	dist, _ := graph.Dijkstra(g, selfIdx)
+	out := make([]int, 0, 4)
+	idx := make(map[int]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	for _, n := range v.Neighbors {
+		direct := cost(v.Self.Pos.Dist(n.Pos))
+		if dist[idx[n.ID]] >= direct {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// refWeakMSTSelect is the historical WeakMST.SelectWeak (multiGraph +
+// minimaxFromSelf).
+func refWeakMSTSelect(m WeakMST, v MultiView) []int {
+	mg := newMultiGraph(v, m.Range, DistanceCost)
+	bottleneck := mg.minimaxFromSelf()
+	out := make([]int, 0, 4)
+	for _, n := range v.Neighbors {
+		cMinUV, _ := CostRange(v.Self.Positions, n.Positions, DistanceCost)
+		if !(cMinUV > bottleneck[mg.idx[n.ID]]) {
+			out = append(out, n.ID)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// refWeakSPTSelect is the historical WeakSPT.SelectWeak (multiGraph +
+// shortestFromSelf).
+func refWeakSPTSelect(s WeakSPT, v MultiView) []int {
+	cost := EnergyCost(s.Alpha, s.Fixed)
+	mg := newMultiGraph(v, s.Range, cost)
+	dist := mg.shortestFromSelf()
+	out := make([]int, 0, 4)
+	for _, n := range v.Neighbors {
+		cMinUV, _ := CostRange(v.Self.Positions, n.Positions, cost)
+		if !(cMinUV > dist[mg.idx[n.ID]]) {
+			out = append(out, n.ID)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sameSet(t *testing.T, label string, got, want []int) {
+	t.Helper()
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: got %v, want %v", label, got, want)
+	}
+}
+
+// TestMSTKernelMatchesPrim pins the kernel against graph.PrimMST. The
+// kernel is a literal replay of Prim over a dense matrix, so it must
+// reproduce Prim's tie behavior exactly — including stale heap entries
+// committing their recorded edge source — which the grid-snapped
+// coordinates (forcing equal edge weights) exercise.
+func TestMSTKernelMatchesPrim(t *testing.T) {
+	rng := xrand.New(71)
+	s := &Scratch{}
+	for trial := 0; trial < 400; trial++ {
+		v := randView(rng, 24)
+		for _, r := range []float64{0, 120, 275, 1e9} {
+			m := MST{Range: r}
+			got := m.SelectInto(v, nil, s)
+			sameSet(t, fmt.Sprintf("trial %d range %g", trial, r), got, refMSTSelect(m, v))
+		}
+	}
+}
+
+// TestSPTKernelMatchesDijkstra pins the dense-Dijkstra kernel against the
+// historical viewGraph + graph.Dijkstra path, including the equal-distance
+// predecessor tie-break.
+func TestSPTKernelMatchesDijkstra(t *testing.T) {
+	rng := xrand.New(72)
+	s := &Scratch{}
+	for trial := 0; trial < 400; trial++ {
+		v := randView(rng, 24)
+		for _, p := range []SPT{
+			{Alpha: 2, Range: 275},
+			{Alpha: 4, Range: 275},
+			{Alpha: 2, Fixed: 1000, Range: 120},
+			{Alpha: 1, Range: 0},
+		} {
+			got := p.SelectInto(v, nil, s)
+			sameSet(t, fmt.Sprintf("trial %d %s", trial, p.Name()), got, refSPTSelect(p, v))
+		}
+	}
+}
+
+// TestWeakKernelsMatchReference pins the weak-consistency scratch kernels
+// against the historical multiGraph implementations.
+func TestWeakKernelsMatchReference(t *testing.T) {
+	rng := xrand.New(73)
+	s := &Scratch{}
+	for trial := 0; trial < 300; trial++ {
+		mv := randMultiView(rng, 16, 3)
+		for _, r := range []float64{0, 150, 275} {
+			m := WeakMST{Range: r}
+			sameSet(t, fmt.Sprintf("trial %d wMST range %g", trial, r),
+				m.SelectWeakInto(mv, nil, s), refWeakMSTSelect(m, mv))
+			for _, alpha := range []float64{2, 4} {
+				p := WeakSPT{Alpha: alpha, Range: r}
+				sameSet(t, fmt.Sprintf("trial %d %s range %g", trial, p.Name(), r),
+					p.SelectWeakInto(mv, nil, s), refWeakSPTSelect(p, mv))
+			}
+		}
+	}
+}
+
+// TestSelectIntoMatchesSelect fuzzes every registered protocol: the kernel
+// must append exactly Select's output after any existing dst prefix, with a
+// Scratch shared dirty across protocols and trials.
+func TestSelectIntoMatchesSelect(t *testing.T) {
+	names := []string{"MST", "RNG", "GG", "SPT-2", "SPT-4", "Yao-6", "CBTC", "CBTC-56", "KNeigh-9", "none"}
+	rng := xrand.New(74)
+	s := &Scratch{}
+	prefix := []int{-7, 99}
+	for trial := 0; trial < 250; trial++ {
+		v := randView(rng, 20)
+		for _, name := range names {
+			p, err := ByName(name, 275)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := p.Select(v)
+			got := SelectInto(p, v, append([]int(nil), prefix...), s)
+			if !reflect.DeepEqual(got[:len(prefix)], prefix) {
+				t.Fatalf("trial %d %s: dst prefix clobbered: %v", trial, name, got)
+			}
+			sameSet(t, fmt.Sprintf("trial %d %s", trial, name), got[len(prefix):], want)
+		}
+	}
+}
+
+// TestSelectWeakIntoMatchesSelectWeak is the weak-protocol analogue.
+func TestSelectWeakIntoMatchesSelectWeak(t *testing.T) {
+	names := []string{"MST", "RNG", "SPT-2", "SPT-4"}
+	rng := xrand.New(75)
+	s := &Scratch{}
+	prefix := []int{-3}
+	for trial := 0; trial < 200; trial++ {
+		mv := randMultiView(rng, 14, 3)
+		for _, name := range names {
+			p, err := WeakByName(name, 275)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := p.SelectWeak(mv)
+			got := SelectWeakInto(p, mv, append([]int(nil), prefix...), s)
+			if !reflect.DeepEqual(got[:len(prefix)], prefix) {
+				t.Fatalf("trial %d w%s: dst prefix clobbered: %v", trial, name, got)
+			}
+			sameSet(t, fmt.Sprintf("trial %d w%s", trial, name), got[len(prefix):], want)
+		}
+	}
+}

@@ -30,8 +30,13 @@ type WeakRNG struct{}
 func (WeakRNG) Name() string { return "wRNG" }
 
 // SelectWeak implements WeakProtocol.
-func (WeakRNG) SelectWeak(v MultiView) []int {
-	out := make([]int, 0, 4)
+func (w WeakRNG) SelectWeak(v MultiView) []int {
+	return w.SelectWeakInto(v, make([]int, 0, 4), &Scratch{})
+}
+
+// SelectWeakInto implements WeakScratchSelector.
+func (WeakRNG) SelectWeakInto(v MultiView, dst []int, _ *Scratch) []int {
+	start := len(dst)
 	for _, n := range v.Neighbors {
 		cMinUV, _ := CostRange(v.Self.Positions, n.Positions, DistanceCost)
 		removed := false
@@ -47,11 +52,11 @@ func (WeakRNG) SelectWeak(v MultiView) []int {
 			}
 		}
 		if !removed {
-			out = append(out, n.ID)
+			dst = append(dst, n.ID)
 		}
 	}
-	sortInts(out)
-	return out
+	sortInts(dst[start:])
+	return dst
 }
 
 // WeakMST applies enhanced removal condition 3: remove (u, v) iff the view
@@ -69,17 +74,27 @@ func (WeakMST) Name() string { return "wMST" }
 
 // SelectWeak implements WeakProtocol.
 func (m WeakMST) SelectWeak(v MultiView) []int {
-	mv := newMultiGraph(v, m.Range, DistanceCost)
-	bottleneck := mv.minimaxFromSelf()
-	out := make([]int, 0, 4)
-	for _, n := range v.Neighbors {
+	return m.SelectWeakInto(v, make([]int, 0, 4), &Scratch{})
+}
+
+// SelectWeakInto implements WeakScratchSelector.
+func (m WeakMST) SelectWeakInto(v MultiView, dst []int, s *Scratch) []int {
+	selfIdx := s.multiViewNodes(v)
+	s.fillWeakMatrix(m.Range, DistanceCost)
+	bottleneck := s.denseMinimax(len(s.pos), selfIdx)
+	start := len(dst)
+	for i, n := range v.Neighbors {
+		idx := i
+		if i >= selfIdx {
+			idx = i + 1
+		}
 		cMinUV, _ := CostRange(v.Self.Positions, n.Positions, DistanceCost)
-		if !(cMinUV > bottleneck[mv.idx[n.ID]]) {
-			out = append(out, n.ID)
+		if !(cMinUV > bottleneck[idx]) {
+			dst = append(dst, n.ID)
 		}
 	}
-	sortInts(out)
-	return out
+	sortInts(dst[start:])
+	return dst
 }
 
 // WeakSPT applies enhanced removal condition 2: remove (u, v) iff the view
@@ -102,23 +117,150 @@ func (s WeakSPT) Name() string {
 
 // SelectWeak implements WeakProtocol.
 func (s WeakSPT) SelectWeak(v MultiView) []int {
-	cost := EnergyCost(s.Alpha, s.Fixed)
-	mv := newMultiGraph(v, s.Range, cost)
-	dist := mv.shortestFromSelf()
-	out := make([]int, 0, 4)
-	for _, n := range v.Neighbors {
+	return s.SelectWeakInto(v, make([]int, 0, 4), &Scratch{})
+}
+
+// SelectWeakInto implements WeakScratchSelector.
+func (sp WeakSPT) SelectWeakInto(v MultiView, dst []int, s *Scratch) []int {
+	if sp.Alpha < 1 {
+		panic(fmt.Sprintf("topology: EnergyCost alpha %g < 1", sp.Alpha))
+	}
+	cost := func(d float64) float64 { return math.Pow(d, sp.Alpha) + sp.Fixed }
+	selfIdx := s.multiViewNodes(v)
+	s.fillWeakMatrix(sp.Range, cost)
+	dist := s.denseShortest(len(s.pos), selfIdx)
+	start := len(dst)
+	for i, n := range v.Neighbors {
+		idx := i
+		if i >= selfIdx {
+			idx = i + 1
+		}
 		cMinUV, _ := CostRange(v.Self.Positions, n.Positions, cost)
-		if !(cMinUV > dist[mv.idx[n.ID]]) {
-			out = append(out, n.ID)
+		if !(cMinUV > dist[idx]) {
+			dst = append(dst, n.ID)
 		}
 	}
-	sortInts(out)
-	return out
+	sortInts(dst[start:])
+	return dst
+}
+
+// multiViewNodes lays the view's position sets out in ascending real-id
+// order (Self inserted at its id rank), mirroring newMultiGraph's entry
+// order so neighbor i sits at index i (i < selfIdx) or i+1. It returns
+// Self's index.
+func (s *Scratch) multiViewNodes(v MultiView) (selfIdx int) {
+	n := len(v.Neighbors) + 1
+	s.pos = grown(s.pos, n)[:0]
+	selfIdx = -1
+	for _, nb := range v.Neighbors {
+		if selfIdx == -1 && v.Self.ID < nb.ID {
+			selfIdx = len(s.pos)
+			s.pos = append(s.pos, v.Self.Positions)
+		}
+		s.pos = append(s.pos, nb.Positions)
+	}
+	if selfIdx == -1 {
+		selfIdx = len(s.pos)
+		s.pos = append(s.pos, v.Self.Positions)
+	}
+	return selfIdx
+}
+
+// fillWeakMatrix fills the scratch dense matrix with the pessimistic (cMax)
+// pairwise costs over s.pos, +Inf where even the maximal cost cannot
+// certify the link exists — the same weights newMultiGraph builds.
+func (s *Scratch) fillWeakMatrix(maxRange float64, fn CostFn) {
+	n := len(s.pos)
+	s.w = grown(s.w, n*n)
+	limit := math.Inf(1)
+	if maxRange > 0 && !math.IsInf(maxRange, 1) {
+		limit = fn(maxRange)
+	}
+	for i := 0; i < n; i++ {
+		s.w[i*n+i] = 0
+		for j := i + 1; j < n; j++ {
+			_, cMax := CostRange(s.pos[i], s.pos[j], fn)
+			if cMax > limit {
+				cMax = math.Inf(1)
+			}
+			s.w[i*n+j] = cMax
+			s.w[j*n+i] = cMax
+		}
+	}
+}
+
+// denseMinimax is minimaxFromSelf over the scratch matrix: the relaxation
+// and the heap's (key, node) total order are identical, so it pops the same
+// node sequence and returns bit-identical keys.
+func (s *Scratch) denseMinimax(n, src int) []float64 {
+	s.dist = grown(s.dist, n)
+	s.done = grown(s.done, n)
+	for i := 0; i < n; i++ {
+		s.dist[i] = math.Inf(1)
+		s.done[i] = false
+	}
+	s.dist[src] = 0
+	s.heap = s.heap[:0]
+	s.heap.push(nodeKey{key: 0, node: int32(src)})
+	for len(s.heap) > 0 {
+		it := s.heap.pop()
+		u := int(it.node)
+		if s.done[u] {
+			continue
+		}
+		s.done[u] = true
+		row := s.w[u*n : u*n+n]
+		for v := 0; v < n; v++ {
+			if v == u || s.done[v] {
+				continue
+			}
+			nk := math.Max(s.dist[u], row[v])
+			if nk < s.dist[v] {
+				s.dist[v] = nk
+				s.heap.push(nodeKey{key: nk, node: int32(v)})
+			}
+		}
+	}
+	return s.dist
+}
+
+// denseShortest is shortestFromSelf over the scratch matrix, with the same
+// +Inf-edge skip and strict-improvement relaxation.
+func (s *Scratch) denseShortest(n, src int) []float64 {
+	s.dist = grown(s.dist, n)
+	s.done = grown(s.done, n)
+	for i := 0; i < n; i++ {
+		s.dist[i] = math.Inf(1)
+		s.done[i] = false
+	}
+	s.dist[src] = 0
+	s.heap = s.heap[:0]
+	s.heap.push(nodeKey{key: 0, node: int32(src)})
+	for len(s.heap) > 0 {
+		it := s.heap.pop()
+		u := int(it.node)
+		if s.done[u] {
+			continue
+		}
+		s.done[u] = true
+		row := s.w[u*n : u*n+n]
+		for v := 0; v < n; v++ {
+			if v == u || s.done[v] || math.IsInf(row[v], 1) {
+				continue
+			}
+			if nd := s.dist[u] + row[v]; nd < s.dist[v] {
+				s.dist[v] = nd
+				s.heap.push(nodeKey{key: nd, node: int32(v)})
+			}
+		}
+	}
+	return s.dist
 }
 
 // multiGraph is the dense pessimistic-cost graph over a MultiView: nodes in
 // ascending id order, edge weight = cMax, edges restricted to pairs whose
-// cMax certifies the link exists (cMax <= fn(Range)).
+// cMax certifies the link exists (cMax <= fn(Range)). It is the reference
+// implementation the scratch kernels above are tested against.
 type multiGraph struct {
 	ids     []int
 	idx     map[int]int
