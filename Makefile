@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check bench bench-compare
+.PHONY: build test race vet lint check bench bench-compare faults-smoke
 
 build:
 	$(GO) build ./...
@@ -26,10 +26,21 @@ lint:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . | tee /dev/stderr | $(GO) run ./cmd/benchreport -o BENCH.json
 
+# Tiny deterministic fault-injection sweep: the loss/delay/churn and
+# buffer-zone experiments at smoke scale, run twice and compared — any
+# nondeterminism in the non-ideal channel path fails the diff.
+faults-smoke:
+	$(GO) run ./cmd/paperfig -exp faults -quick -reps 2 -duration 8 > /tmp/faults_a.txt
+	$(GO) run ./cmd/paperfig -exp faults -quick -reps 2 -duration 8 > /tmp/faults_b.txt
+	cmp /tmp/faults_a.txt /tmp/faults_b.txt
+	$(GO) run ./cmd/paperfig -exp bufferzone -quick -reps 2 -duration 8 > /tmp/bufzone_a.txt
+	$(GO) run ./cmd/paperfig -exp bufferzone -quick -reps 2 -duration 8 > /tmp/bufzone_b.txt
+	cmp /tmp/bufzone_a.txt /tmp/bufzone_b.txt
+
 # Gate the hot path against the committed baseline trajectory: three
 # repetitions of BenchmarkSingleRun, compared by minimum ns/op; fails on a
 # >30 % regression. Override the reference with BASELINE=BENCH_1.json etc.
-BASELINE ?= BENCH_2.json
+BASELINE ?= BENCH_3.json
 bench-compare:
 	$(GO) test -run '^$$' -bench '^BenchmarkSingleRun$$' -count 3 . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchreport -baseline $(BASELINE) -gate BenchmarkSingleRun -o /dev/null

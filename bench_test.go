@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"testing"
 
+	"mstc/internal/channel"
 	"mstc/internal/experiment"
 	"mstc/internal/geom"
 	"mstc/internal/manet"
@@ -174,6 +175,25 @@ func BenchmarkSingleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res = runOnce(b, 40, manet.Config{
 			Protocol: topology.RNG{}, FloodRate: 10, Seed: uint64(i),
+		})
+	}
+	b.ReportMetric(res.Connectivity, "conn/ratio")
+}
+
+// BenchmarkSingleRunFaulty is BenchmarkSingleRun over a non-ideal channel
+// (bursty loss + delayed delivery + churn): the cost of the fault-injection
+// path relative to the ideal one, with the same mobility and protocol.
+func BenchmarkSingleRunFaulty(b *testing.B) {
+	b.ReportAllocs()
+	var res manet.Result
+	for i := 0; i < b.N; i++ {
+		res = runOnce(b, 40, manet.Config{
+			Protocol: topology.RNG{}, FloodRate: 10, Seed: uint64(i),
+			Channel: channel.Config{
+				Loss:  channel.LossConfig{Model: channel.GilbertElliott, Rate: 0.2},
+				Delay: channel.DelayConfig{Max: 0.05},
+				Churn: channel.ChurnConfig{MeanUp: 20, MeanDown: 2},
+			},
 		})
 	}
 	b.ReportMetric(res.Connectivity, "conn/ratio")

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+
+	"mstc/internal/channel"
+)
+
+// channelFlags are the raw non-ideal-channel flag values. They map onto
+// channel.Config in buildChannel, which also validates the combinations a
+// flag parser can get wrong before manet's config validation would reject
+// them with a less actionable message.
+type channelFlags struct {
+	Loss      float64 // -loss: per-packet loss probability
+	LossModel string  // -loss-model: bernoulli | gilbert
+	LossBurst float64 // -loss-burst: Gilbert–Elliott mean burst length
+	DelayMin  float64 // -delay-min: minimum per-delivery delay (s)
+	DelayMax  float64 // -delay-max: maximum per-delivery delay Δ″ (s)
+	Churn     float64 // -churn: expected fraction of nodes down
+	Outage    float64 // -churn-outage: mean outage duration (s)
+}
+
+// buildChannel turns the flag values into a channel configuration. The
+// legacy knobs that overlap with the channel — direct churn (-churn-up /
+// -churn-down) and the collision MAC (-txdur) — are passed in so conflicts
+// fail here, at flag level, with the flag names in the message.
+func (f channelFlags) buildChannel(legacyChurnUp, legacyChurnDown, txDur float64) (channel.Config, error) {
+	var cfg channel.Config
+	switch f.LossModel {
+	case "", "bernoulli":
+		if f.LossBurst > 0 {
+			return cfg, fmt.Errorf("-loss-burst requires -loss-model gilbert")
+		}
+		if f.Loss > 0 {
+			cfg.Loss = channel.LossConfig{Model: channel.Bernoulli, Rate: f.Loss}
+		}
+	case "gilbert":
+		if f.Loss <= 0 {
+			return cfg, fmt.Errorf("-loss-model gilbert requires -loss > 0")
+		}
+		cfg.Loss = channel.LossConfig{
+			Model: channel.GilbertElliott, Rate: f.Loss, MeanBurst: f.LossBurst,
+		}
+	default:
+		return cfg, fmt.Errorf("unknown -loss-model %q (want bernoulli or gilbert)", f.LossModel)
+	}
+	if f.DelayMax > 0 || f.DelayMin > 0 {
+		if txDur > 0 {
+			return cfg, fmt.Errorf("-delay-max and -txdur are mutually exclusive (one timing model at a time)")
+		}
+		cfg.Delay = channel.DelayConfig{Min: f.DelayMin, Max: f.DelayMax}
+	}
+	if f.Churn > 0 {
+		if legacyChurnUp > 0 || legacyChurnDown > 0 {
+			return cfg, fmt.Errorf("-churn conflicts with -churn-up/-churn-down (pick one churn interface)")
+		}
+		if f.Churn >= 1 {
+			return cfg, fmt.Errorf("-churn %g is an expected down fraction, want (0, 1)", f.Churn)
+		}
+		outage := f.Outage
+		if outage <= 0 {
+			outage = 2
+		}
+		cfg.Churn = channel.ChurnConfig{
+			MeanUp:   outage * (1 - f.Churn) / f.Churn,
+			MeanDown: outage,
+		}
+	} else if f.Outage > 0 {
+		return cfg, fmt.Errorf("-churn-outage requires -churn > 0")
+	}
+	return cfg, cfg.Validate()
+}

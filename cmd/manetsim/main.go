@@ -11,6 +11,13 @@
 //	manetsim -protocol MST -speed 20 -proactive -buffer 30
 //	manetsim -protocol RNG -replay scenario.txt  # replay a recorded trace
 //	manetsim -record scenario.txt -speed 40      # record a mobility trace
+//
+// Non-ideal channel (loss, delay, churn fault injection):
+//
+//	manetsim -protocol RNG -speed 40 -loss 0.2                     # i.i.d. loss
+//	manetsim -protocol RNG -loss 0.2 -loss-model gilbert           # bursty loss
+//	manetsim -protocol MST -delay-max 0.5 -buffer 40 -settle 2     # delayed Hellos
+//	manetsim -protocol RNG -churn 0.25 -churn-outage 2             # node crashes
 package main
 
 import (
@@ -51,9 +58,16 @@ func main() {
 		prune        = flag.Bool("prune", false, "self-pruning broadcast (skip fully covered forwards)")
 		cdsFwd       = flag.Bool("cds", false, "CDS-gateway forwarding (implies -pn)")
 		floodRate    = flag.Float64("floods", 10, "connectivity probes per second")
+		floodSettle  = flag.Float64("settle", 0, "flood scoring deadline (s); 0 = default 0.5; raise under -delay-max")
 		unicastRate  = flag.Float64("unicast", 0, "greedy unicast probes per second (replaces flooding when > 0)")
 		epidemicWin  = flag.Float64("epidemic", 0, "epidemic delivery window in seconds (replaces flooding when > 0)")
-		lossRate     = flag.Float64("loss", 0, "per-reception loss probability")
+		lossRate     = flag.Float64("loss", 0, "channel per-packet loss probability")
+		lossModel    = flag.String("loss-model", "", "loss model: bernoulli (default) or gilbert (bursty)")
+		lossBurst    = flag.Float64("loss-burst", 0, "Gilbert-Elliott mean burst length in packets (default 8)")
+		delayMin     = flag.Float64("delay-min", 0, "minimum per-delivery channel delay (s)")
+		delayMax     = flag.Float64("delay-max", 0, "maximum per-delivery channel delay (s); > 0 enables delayed delivery")
+		churnFrac    = flag.Float64("churn", 0, "channel churn: expected fraction of nodes down, in (0, 1)")
+		churnOutage  = flag.Float64("churn-outage", 0, "channel churn mean outage duration (s, default 2)")
 		posNoise     = flag.Float64("noise", 0, "advertised-position noise std-dev (m)")
 		txDur        = flag.Float64("txdur", 0, "per-packet airtime (s); > 0 enables the collision MAC")
 		seed         = flag.Uint64("seed", 1, "random seed")
@@ -115,10 +129,21 @@ func main() {
 		return
 	}
 
+	chCfg, err := channelFlags{
+		Loss: *lossRate, LossModel: *lossModel, LossBurst: *lossBurst,
+		DelayMin: *delayMin, DelayMax: *delayMax,
+		Churn: *churnFrac, Outage: *churnOutage,
+	}.buildChannel(*churnUp, *churnDown, *txDur)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	cfg := manet.Config{
 		NormalRange: *normalRange,
 		FloodRate:   *floodRate,
-		Radio:       radio.Config{LossRate: *lossRate, TxDuration: *txDur},
+		FloodSettle: *floodSettle,
+		Radio:       radio.Config{TxDuration: *txDur},
+		Channel:     chCfg,
 		Seed:        *seed,
 		Mech: manet.Mechanisms{
 			Buffer:            *buffer,

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"mstc/internal/channel"
 	"mstc/internal/experiment"
 	"mstc/internal/profiling"
 )
@@ -26,7 +27,7 @@ func main() {
 	log.SetPrefix("paperfig: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, fig9, fig10, consistency, routing, energy, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, fig9, fig10, consistency, routing, energy, all; fault-injection extras (not in all): faults, bufferzone")
 		reps     = flag.Int("reps", 0, "repetitions per configuration (default: paper's 20, or 3 with -quick)")
 		duration = flag.Float64("duration", 0, "simulated seconds per run (default: paper's 100, or 20 with -quick)")
 		quick    = flag.Bool("quick", false, "scaled-down options for a fast pass")
@@ -227,7 +228,56 @@ func main() {
 			return nil
 		})
 	}
+	// The fault-injection experiments exercise the non-ideal channel
+	// subsystem. They are opt-in only — never part of "all" — so the
+	// byte-identical output contract of pre-channel invocations holds.
+	if strings.EqualFold(*exp, "faults") {
+		matched = true
+		run("faults", func() error {
+			rates := []float64{0, 0.1, 0.2, 0.4, 0.6}
+			for _, model := range []channel.LossModel{channel.Bernoulli, channel.GilbertElliott} {
+				f, err := experiment.FigLoss(o, model, rates)
+				if err != nil {
+					return err
+				}
+				fmt.Println(f)
+				save("faults_loss_"+model.String()+".dat", f.Dat())
+			}
+			fd, err := experiment.FigDelay(o, []float64{0, 0.25, 0.5, 1.0})
+			if err != nil {
+				return err
+			}
+			fmt.Println(fd)
+			save("faults_delay.dat", fd.Dat())
+			fc, err := experiment.FigChurn(o, []float64{0, 0.1, 0.25, 0.5})
+			if err != nil {
+				return err
+			}
+			fmt.Println(fc)
+			save("faults_churn.dat", fc.Dat())
+			return nil
+		})
+	}
+	if strings.EqualFold(*exp, "bufferzone") {
+		matched = true
+		run("bufferzone", func() error {
+			// Average speed 20 m/s (setdest max 40 m/s): predicted knees
+			// 2·Δ″·v = 0 / 40 / 80 m for Δ″ = 0 / 0.5 / 1.0 s, bracketed
+			// by the buffer grid.
+			delays := []float64{0, 0.5, 1.0}
+			buffers := []float64{0, 10, 20, 30, 40, 50, 60, 80, 100, 120, 160}
+			f, t, err := experiment.FigBufferZone(o, 20, delays, buffers)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f)
+			fmt.Println(t)
+			save("bufferzone.dat", f.Dat())
+			save("bufferzone_knees.txt", t.String())
+			return nil
+		})
+	}
 	if !matched {
-		log.Fatalf("unknown experiment %q (want table1, fig6..fig10, consistency, routing, or all)", *exp)
+		log.Fatalf("unknown experiment %q (want table1, fig6..fig10, consistency, routing, energy, faults, bufferzone, or all)", *exp)
 	}
 }

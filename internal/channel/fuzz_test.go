@@ -1,0 +1,71 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"mstc/internal/xrand"
+)
+
+// FuzzGilbertElliott is the property test of the burst-loss chain: for any
+// (seed, rate, burst) the loss sequence is reproducible per seed, and its
+// long-run loss rate converges to the configured stationary probability.
+// `go test` runs the seed corpus; `go test -fuzz=FuzzGilbertElliott`
+// explores further.
+func FuzzGilbertElliott(f *testing.F) {
+	f.Add(uint64(1), 0.1, 4.0)
+	f.Add(uint64(42), 0.3, 8.0)
+	f.Add(uint64(7), 0.02, 1.5)
+	f.Add(uint64(2004), 0.45, 20.0)
+	f.Fuzz(func(t *testing.T, seed uint64, rate, burst float64) {
+		// Clamp fuzz inputs into the validated parameter space instead of
+		// rejecting: the property must hold across all of it.
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || math.IsNaN(burst) || math.IsInf(burst, 0) {
+			t.Skip()
+		}
+		rate = math.Mod(math.Abs(rate), 0.5)
+		burst = 1.5 + math.Mod(math.Abs(burst), 30)
+		cfg := LossConfig{Model: GilbertElliott, Rate: rate, MeanBurst: burst}
+		if err := (Config{Loss: cfg}).Validate(); err != nil {
+			t.Skipf("clamped config still invalid: %v", err)
+		}
+
+		const n = 60000
+		run := func() (lost int, bits uint64) {
+			p := NewLossProcess(cfg, xrand.New(seed))
+			for i := 0; i < n; i++ {
+				l := p.Lost()
+				if l {
+					lost++
+				}
+				if i < 64 {
+					bits <<= 1
+					if l {
+						bits |= 1
+					}
+				}
+			}
+			return lost, bits
+		}
+		lostA, bitsA := run()
+		lostB, bitsB := run()
+		if lostA != lostB || bitsA != bitsB {
+			t.Fatalf("seed %d not reproducible: %d/%d losses, prefixes %x vs %x", seed, lostA, lostB, bitsA, bitsB)
+		}
+		if rate == 0 {
+			if lostA != 0 {
+				t.Fatalf("rate 0 lost %d packets", lostA)
+			}
+			return
+		}
+		got := float64(lostA) / n
+		// Tolerance scales with the chain's mixing time: the asymptotic
+		// variance of the loss-rate estimator grows with the burst length,
+		// so allow ~5 standard errors of a conservatively inflated bound.
+		se := math.Sqrt(rate * (1 - rate) / n * (2*burst + 1))
+		tol := math.Max(0.02, 5*se)
+		if math.Abs(got-rate) > tol {
+			t.Errorf("seed %d rate %g burst %g: long-run loss %g off by more than %g", seed, rate, burst, got, tol)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"mstc/internal/manet"
+)
+
+// Differential regression against the pre-channel evaluation: with the
+// ideal (zero-value) channel, every result and rendered figure must stay
+// byte-identical to the codebase before the channel subsystem existed. The
+// two digests below were captured on the commit preceding this subsystem;
+// any drift means the ideal path consumed randomness, reordered draws, or
+// changed substream labels, and is a bug — not a baseline to re-pin.
+
+const (
+	goldenResultsDigest = "1594413e772de2bd95d14b4812d06c7e4c2a174d7b40d5b65c9732dcbeb1c9fe"
+	goldenFig6Digest    = "6968aa7eec0910089c9bbf442eeb286f7427203ce87a4359c9a54da86a5ccefb"
+)
+
+func goldenOptions() Options {
+	o := DefaultOptions()
+	o.N = 40
+	o.Reps = 2
+	o.Duration = 5
+	o.Speeds = []float64{40}
+	o.Workers = 4
+	return o
+}
+
+func goldenTasks() []Run {
+	var tasks []Run
+	for rep := 0; rep < 2; rep++ {
+		tasks = append(tasks,
+			Run{Protocol: "RNG", Speed: 40, Rep: rep},
+			Run{Protocol: "MST", Speed: 40, Mech: manet.Mechanisms{Buffer: 10, ViewSync: true}, Rep: rep},
+			Run{Protocol: "SPT-2", Speed: 40, Mech: manet.Mechanisms{Buffer: 100, PhysicalNeighbors: true}, Rep: rep},
+		)
+	}
+	return tasks
+}
+
+func TestIdealChannelResultsBitIdentical(t *testing.T) {
+	results, err := Execute(goldenOptions(), goldenTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultsDigest(results); got != goldenResultsDigest {
+		t.Errorf("ideal-channel results drifted from the pre-channel golden digest:\n got %s\nwant %s",
+			got, goldenResultsDigest)
+	}
+}
+
+func TestIdealChannelFig6BitIdentical(t *testing.T) {
+	o := goldenOptions()
+	o.Duration = 8
+	f, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(f.String() + "\n" + f.Dat()))
+	if got := hex.EncodeToString(sum[:]); got != goldenFig6Digest {
+		t.Errorf("ideal-channel Fig6 render drifted from the pre-channel golden digest:\n got %s\nwant %s",
+			got, goldenFig6Digest)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"mstc/internal/geom"
 
+	"mstc/internal/channel"
 	"mstc/internal/manet"
 	"mstc/internal/mobility"
 	"mstc/internal/radio"
@@ -55,6 +56,14 @@ type Options struct {
 	// medium's defaults). Results are independent of the bounded-staleness
 	// knob Radio.Slack by construction; the determinism tests pin that.
 	Radio radio.Config
+	// Channel applies a non-ideal channel (loss, delay, churn) to every run
+	// that does not set its own Run.Channel. The zero value is the ideal
+	// channel, and leaves every substream label — and hence every result —
+	// bit-identical to an evaluation without the subsystem.
+	Channel channel.Config
+	// SnapshotEvery, if positive, samples strict (snapshot) connectivity of
+	// the directed effective topology every that many seconds in every run.
+	SnapshotEvery float64
 	// NoSelectionCache disables the per-node selection cache in every run.
 	// Results are identical with or without it (the determinism tests pin
 	// that); the knob only trades CPU for a differential check.
@@ -113,6 +122,9 @@ type Run struct {
 	Speed float64
 	// Mech are the active mechanisms.
 	Mech manet.Mechanisms
+	// Channel, when non-zero, overrides Options.Channel for this task — the
+	// fault-injection sweeps vary it per point.
+	Channel channel.Config
 	// Rep is the repetition index in [0, Reps).
 	Rep int
 }
@@ -168,6 +180,21 @@ func (r Run) key() uint64 {
 	}
 	mix(flags)
 	word(uint64(r.Mech.WeakK))
+	// Channel parameters are hashed only when the task's channel is
+	// non-ideal: the ideal default must keep every pre-channel substream
+	// label (and hence every golden digest) bit-identical.
+	if r.Channel.Enabled() {
+		mix(1)
+		mix(byte(r.Channel.Loss.Model))
+		word(math.Float64bits(r.Channel.Loss.Rate))
+		word(math.Float64bits(r.Channel.Loss.MeanBurst))
+		word(math.Float64bits(r.Channel.Loss.GoodLoss))
+		word(math.Float64bits(r.Channel.Loss.BadLoss))
+		word(math.Float64bits(r.Channel.Delay.Min))
+		word(math.Float64bits(r.Channel.Delay.Max))
+		word(math.Float64bits(r.Channel.Churn.MeanUp))
+		word(math.Float64bits(r.Channel.Churn.MeanDown))
+	}
 	return h
 }
 
@@ -237,11 +264,17 @@ func executeOne(o Options, r Run) (manet.Result, error) {
 	if err != nil {
 		return manet.Result{}, err
 	}
+	ch := o.Channel
+	if r.Channel.Enabled() {
+		ch = r.Channel
+	}
 	cfg := manet.Config{
 		NormalRange:      o.NormalRange,
 		Mech:             r.Mech,
 		FloodRate:        o.FloodRate,
 		Radio:            o.Radio,
+		Channel:          ch,
+		SnapshotEvery:    o.SnapshotEvery,
 		NoSelectionCache: o.NoSelectionCache,
 		Seed:             xrand.New(o.Seed).Sub('n', r.key(), uint64(r.Rep)).Uint64(),
 	}

@@ -1,0 +1,170 @@
+package manet
+
+import (
+	"testing"
+
+	"mstc/internal/channel"
+	"mstc/internal/topology"
+)
+
+// Integration tests for the non-ideal channel subsystem threaded through the
+// network: loss thins floods, delay defers (but does not lose) "Hello"s, and
+// channel churn behaves like the legacy fail/recover process.
+
+func TestChannelLossDegradesConnectivity(t *testing.T) {
+	model := connectedStatic(t, 100, 100, 12)
+	base := Config{Protocol: topology.RNG{}, FloodRate: 10, Seed: 7}
+	run := func(cfg Config) Result {
+		nw, err := NewNetwork(model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw.Run(12)
+	}
+	ideal := run(base)
+	lossy := base
+	lossy.Channel.Loss = channel.LossConfig{Rate: 0.5}
+	lost := run(lossy)
+	if ideal.Connectivity < 0.999 {
+		t.Fatalf("ideal static connectivity %.4f, want ~1", ideal.Connectivity)
+	}
+	if lost.Connectivity > ideal.Connectivity-0.05 {
+		t.Errorf("50%% loss: connectivity %.4f vs ideal %.4f, want a clear drop",
+			lost.Connectivity, ideal.Connectivity)
+	}
+	burst := base
+	burst.Channel.Loss = channel.LossConfig{
+		Model: channel.GilbertElliott, Rate: 0.5, MeanBurst: 8,
+	}
+	bursty := run(burst)
+	if bursty.Connectivity > ideal.Connectivity-0.05 {
+		t.Errorf("Gilbert-Elliott 50%% loss: connectivity %.4f vs ideal %.4f, want a clear drop",
+			bursty.Connectivity, ideal.Connectivity)
+	}
+}
+
+func TestChannelDelayKeepsNetworkWorking(t *testing.T) {
+	// A bounded delivery delay postpones "Hello"s and flood hops but loses
+	// nothing: a static connected network must still reach everyone, given a
+	// settle window long enough for the delayed hops to land.
+	model := connectedStatic(t, 100, 100, 12)
+	cfg := Config{Protocol: topology.RNG{}, FloodRate: 10, FloodSettle: 2, Seed: 7}
+	cfg.Channel.Delay = channel.DelayConfig{Max: 0.1}
+	nw, err := NewNetwork(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := nw.Run(12)
+	if res.Connectivity < 0.99 {
+		t.Errorf("delayed channel on static connected network: connectivity %.4f, want ~1",
+			res.Connectivity)
+	}
+	if res.HelloTx == 0 {
+		t.Error("no hellos sent")
+	}
+}
+
+func TestChannelChurnSilencesNodes(t *testing.T) {
+	// Channel-driven churn must behave like the legacy process: nodes go
+	// quiet while down, so beacon counts drop versus the fault-free run.
+	model := connectedStatic(t, 100, 60, 20)
+	base := Config{Protocol: topology.RNG{}, FloodRate: 5, Seed: 7}
+	run := func(cfg Config) Result {
+		nw, err := NewNetwork(model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw.Run(20)
+	}
+	ideal := run(base)
+	churny := base
+	churny.Channel.Churn = channel.ChurnConfig{MeanUp: 2, MeanDown: 2}
+	faulty := run(churny)
+	if faulty.HelloTx >= ideal.HelloTx {
+		t.Errorf("churn HelloTx %d >= ideal %d, want fewer beacons under churn",
+			faulty.HelloTx, ideal.HelloTx)
+	}
+	// With mean 2s up / 2s down roughly half the beacon slots are silenced.
+	if lo, hi := ideal.HelloTx/4, ideal.HelloTx*3/4; faulty.HelloTx < lo || faulty.HelloTx > hi {
+		t.Errorf("churn HelloTx %d outside [%d, %d] (ideal %d)",
+			faulty.HelloTx, lo, hi, ideal.HelloTx)
+	}
+}
+
+func TestChannelFullStackDeterminism(t *testing.T) {
+	// All three degradations at once, twice, same seed: identical results.
+	run := func() Result {
+		model := waypointModel(t, 20, 9)
+		cfg := Config{
+			Protocol: topology.RNG{}, FloodRate: 10, Seed: 11,
+			Mech: Mechanisms{Buffer: 10, ViewSync: true},
+			Channel: channel.Config{
+				Loss:  channel.LossConfig{Model: channel.GilbertElliott, Rate: 0.2},
+				Delay: channel.DelayConfig{Max: 0.05},
+				Churn: channel.ChurnConfig{MeanUp: 5, MeanDown: 1},
+			},
+		}
+		nw, err := NewNetwork(model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw.Run(10)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("channel run not deterministic:\n  a=%+v\n  b=%+v", a, b)
+	}
+}
+
+func TestChannelReactiveRoundsCompose(t *testing.T) {
+	// The reactive scheme has its own beacon path; loss + delay must thread
+	// through it too without deadlock or lost selections.
+	model := connectedStatic(t, 100, 80, 10)
+	cfg := Config{
+		Protocol: topology.RNG{}, FloodRate: 10, Seed: 3,
+		Mech: Mechanisms{Reactive: true, Buffer: 20},
+	}
+	cfg.Channel.Loss = channel.LossConfig{Rate: 0.1}
+	cfg.Channel.Delay = channel.DelayConfig{Max: 0.02}
+	nw, err := NewNetwork(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := nw.Run(10)
+	if res.Floods == 0 || res.HelloTx == 0 {
+		t.Fatalf("reactive channel run produced no activity: %+v", res)
+	}
+	if res.Connectivity < 0.5 {
+		t.Errorf("reactive with mild loss: connectivity %.4f suspiciously low", res.Connectivity)
+	}
+}
+
+func TestChannelConfigConflicts(t *testing.T) {
+	model := connectedStatic(t, 100, 20, 5)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"double churn", func() Config {
+			c := Config{Protocol: topology.RNG{}, Seed: 1}
+			c.Churn = ChurnConfig{MeanUp: 5, MeanDown: 1}
+			c.Channel.Churn = channel.ChurnConfig{MeanUp: 5, MeanDown: 1}
+			return c
+		}()},
+		{"delay with collision MAC", func() Config {
+			c := Config{Protocol: topology.RNG{}, Seed: 1}
+			c.Radio.TxDuration = 0.001
+			c.Channel.Delay = channel.DelayConfig{Max: 0.05}
+			return c
+		}()},
+		{"bad loss rate", func() Config {
+			c := Config{Protocol: topology.RNG{}, Seed: 1}
+			c.Channel.Loss = channel.LossConfig{Rate: 1.5}
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		if _, err := NewNetwork(model, tc.cfg); err == nil {
+			t.Errorf("%s: NewNetwork accepted an invalid config", tc.name)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package manet
 import (
 	"fmt"
 
+	"mstc/internal/channel"
 	"mstc/internal/radio"
 	"mstc/internal/topology"
 )
@@ -93,6 +94,12 @@ type Config struct {
 	Mech Mechanisms
 	// Radio configures the medium (per-hop delay, loss, grid cell).
 	Radio radio.Config
+	// Channel configures the non-ideal channel subsystem: stochastic
+	// per-packet loss (Bernoulli or Gilbert–Elliott), bounded random
+	// per-delivery delay (Theorem 5's Δ″), and node churn driven by
+	// dedicated substreams. The zero value is the ideal channel and is
+	// provably bit-identical to not having the subsystem at all.
+	Channel channel.Config
 	// FloodRate is floods per second used to probe weak connectivity
 	// (10 in the paper). 0 disables flooding.
 	FloodRate float64
@@ -186,8 +193,15 @@ func (c Config) validate() error {
 		return fmt.Errorf("manet: churn needs both MeanUp and MeanDown positive (or both zero)")
 	case c.PosNoise < 0:
 		return fmt.Errorf("manet: negative PosNoise %g", c.PosNoise)
+	case c.Channel.Churn.Enabled() && c.Churn.Enabled():
+		return fmt.Errorf("manet: churn configured both directly (Config.Churn) and through the channel (Config.Channel.Churn)")
+	case c.Channel.Delay.Enabled() && c.Radio.TxDuration > 0:
+		// Collision resolution happens at airtime end; deferring delivery
+		// further would consult a pruned interference log. Model one
+		// non-ideal timing effect at a time.
+		return fmt.Errorf("manet: channel delay and the collision MAC (Radio.TxDuration) are mutually exclusive")
 	}
-	return nil
+	return c.Channel.Validate()
 }
 
 // ProtocolName returns the configured protocol's display name.

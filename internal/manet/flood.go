@@ -97,6 +97,11 @@ func (nw *Network) transmit(fl *flood, sender int, now sim.Time) {
 			continue // dropped at the topology layer
 		}
 		delay := airtime + nw.med.Delay() + nw.rng.Uniform(0, nw.cfg.ForwardJitterMax)
+		if nw.ch.DelayEnabled() {
+			// Non-ideal channel: this reception is additionally deferred by
+			// its own bounded random delay (≤ Δ″), drawn in receiver order.
+			delay += nw.ch.DrawDelay()
+		}
 		d := nw.newDelivery()
 		d.fl, d.rid, d.tx, d.cover, d.airtime = fl, rid, tx, senderCover, airtime
 		nw.eng.ScheduleActorIn(delay, d)

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"mstc/internal/cds"
+	"mstc/internal/channel"
 	"mstc/internal/geom"
 	"mstc/internal/graph"
 	"mstc/internal/hello"
@@ -99,6 +100,7 @@ type Network struct {
 	eng   *sim.Engine
 	med   *radio.Medium
 	rng   *xrand.Source
+	ch    *channel.Model // non-ideal channel; nil = ideal
 	nodes []*node
 
 	// accumulators
@@ -135,7 +137,8 @@ type Network struct {
 	cdsNbrBuf  []int
 	cdsMarkBuf map[int]bool
 
-	freeDel *delivery // freelist of pooled flood deliveries
+	freeDel   *delivery      // freelist of pooled flood deliveries
+	freeHello *helloDelivery // freelist of pooled delayed "Hello" deliveries
 }
 
 // NewNetwork builds a run over the given mobility model.
@@ -150,12 +153,21 @@ func NewNetwork(model mobility.Model, cfg Config) (*Network, error) {
 		return nil, err
 	}
 	n := model.N()
+	// The channel draws from its own substream root ('x'): the ideal
+	// default builds no model and consumes nothing, and a non-ideal one
+	// never perturbs the radio/network/hello streams.
+	ch, err := channel.NewModel(cfg.Channel, n, root.Sub('x'))
+	if err != nil {
+		return nil, err
+	}
+	med.SetChannel(ch)
 	nw := &Network{
 		cfg:   cfg,
 		model: model,
 		eng:   sim.NewEngine(),
 		med:   med,
 		rng:   root.Sub('n'),
+		ch:    ch,
 		nodes: make([]*node, n),
 	}
 	k := 1
@@ -224,13 +236,24 @@ func (nw *Network) Run(duration float64) Result {
 			})
 		}
 	}
-	if nw.cfg.Churn.Enabled() {
+	// The fail/recover process serves two configurations with one schedule:
+	// the legacy direct knob (Config.Churn, substream 'c' of the network
+	// stream — unchanged draws, so pre-channel runs stay bit-identical) and
+	// the channel's fault process, which draws from the channel's own
+	// per-node substreams. Validation rejects configuring both.
+	meanUp, meanDown := nw.cfg.Churn.MeanUp, nw.cfg.Churn.MeanDown
+	churnRNG := func(id int) *xrand.Source { return nw.rng.Sub('c', uint64(id)) }
+	if !nw.cfg.Churn.Enabled() && nw.ch.ChurnEnabled() {
+		meanUp, meanDown = nw.ch.ChurnMeans()
+		churnRNG = nw.ch.ChurnRNG
+	}
+	if meanUp > 0 && meanDown > 0 {
 		for _, nd := range nw.nodes {
 			nd := nd
-			rng := nw.rng.Sub('c', uint64(nd.id))
+			rng := churnRNG(nd.id)
 			var fail func(now sim.Time)
 			fail = func(now sim.Time) {
-				down := rng.ExpFloat64() * nw.cfg.Churn.MeanDown
+				down := rng.ExpFloat64() * meanDown
 				nd.downUntil = now + down
 				// Losing state on failure: the node reboots with an
 				// empty neighbor table and no selection. Reset keeps the
@@ -238,9 +261,9 @@ func (nw *Network) Run(duration float64) Result {
 				// entries from before the failure can never be replayed.
 				nd.table.Reset(nw.cfg.HelloExpiry)
 				nw.setSelection(nd, nil, 0)
-				nw.eng.Schedule(now+down+rng.ExpFloat64()*nw.cfg.Churn.MeanUp, fail)
+				nw.eng.Schedule(now+down+rng.ExpFloat64()*meanUp, fail)
 			}
-			nw.eng.Schedule(rng.ExpFloat64()*nw.cfg.Churn.MeanUp, fail)
+			nw.eng.Schedule(rng.ExpFloat64()*meanUp, fail)
 		}
 	}
 	if nw.cfg.FloodRate > 0 {
@@ -323,6 +346,11 @@ func (nw *Network) sendHello(nd *node, now sim.Time) {
 				}
 			}
 		})
+	} else if nw.ch.DelayEnabled() {
+		// Non-ideal channel: each reception resolves after its own bounded
+		// random delay (≤ Δ″), as a pooled actor — the delivery path of
+		// Theorem 5's delayed-message regime.
+		nw.scheduleHellos(msg, receivers)
 	} else {
 		for _, rid := range receivers {
 			if !nw.nodes[rid].isDown(now) {
@@ -345,6 +373,9 @@ func (nw *Network) scheduleReactiveRounds() {
 		round++
 		ver := round
 		for _, nd := range nw.nodes {
+			if nw.ch != nil && nd.isDown(now) {
+				continue // channel churn: a failed node misses its round
+			}
 			pos := nw.med.PositionAt(nd.id, now)
 			nd.version = ver
 			nd.advertisedPos = pos
@@ -352,9 +383,25 @@ func (nw *Network) scheduleReactiveRounds() {
 			msg := hello.Message{From: nd.id, Pos: pos, SentAt: now, Version: ver}
 			nw.helloTx++
 			nw.helloEnergy++
-			nw.recvBuf = nw.med.ReceiversAt(now, nd.id, nw.cfg.NormalRange, nw.recvBuf[:0])
-			for _, rid := range nw.recvBuf {
-				nw.nodes[rid].table.Observe(msg)
+			if nw.ch == nil {
+				// Ideal channel: the original synchronous delivery, kept on
+				// its own path so pre-channel runs stay bit-identical.
+				nw.recvBuf = nw.med.ReceiversAt(now, nd.id, nw.cfg.NormalRange, nw.recvBuf[:0])
+				for _, rid := range nw.recvBuf {
+					nw.nodes[rid].table.Observe(msg)
+				}
+				continue
+			}
+			_, receivers := nw.med.Transmit(now, nd.id, nw.cfg.NormalRange, nw.recvBuf[:0])
+			nw.recvBuf = receivers
+			if nw.ch.DelayEnabled() {
+				nw.scheduleHellos(msg, receivers)
+				continue
+			}
+			for _, rid := range receivers {
+				if !nw.nodes[rid].isDown(now) {
+					nw.nodes[rid].table.Observe(msg)
+				}
 			}
 		}
 		nw.eng.ScheduleIn(settle, func(sel sim.Time) {

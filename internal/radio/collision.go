@@ -30,9 +30,16 @@ func (m *Medium) TxDuration() float64 { return m.cfg.TxDuration }
 
 // Transmit logs a transmission by sender at time t with the given range and
 // returns its handle plus the candidate receivers (nodes within range,
-// before interference). With TxDuration == 0 no log is kept and the call is
-// equivalent to ReceiversAt.
+// before interference). With TxDuration == 0 no log is kept and, absent an
+// attached channel, the call is equivalent to ReceiversAt.
+//
+// When a non-ideal channel is attached (SetChannel), each in-range receiver
+// additionally passes through its per-receiver loss chain, in ascending-id
+// order; dropped receivers are removed from the returned set. The
+// interference footprint logged for the collision MAC stays the geometric
+// coverage — channel loss is a receiver-side effect, not reduced airtime.
 func (m *Medium) Transmit(t float64, sender int, r float64, dst []int) (Tx, []int) {
+	start := len(dst)
 	dst = m.ReceiversAt(t, sender, r, dst)
 	tx := Tx{sender: sender, at: t}
 	if m.cfg.TxDuration > 0 {
@@ -42,6 +49,10 @@ func (m *Medium) Transmit(t float64, sender int, r float64, dst []int) (Tx, []in
 		copy(covered, dst)
 		m.txLog = append(m.txLog, txRecord{Tx: tx, covered: covered})
 		m.pruneTxLog(t)
+	}
+	if m.ch.LossEnabled() {
+		kept := m.ch.FilterLost(dst[start:])
+		dst = dst[:start+len(kept)]
 	}
 	return tx, dst
 }

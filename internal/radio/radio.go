@@ -28,6 +28,7 @@ package radio
 import (
 	"fmt"
 
+	"mstc/internal/channel"
 	"mstc/internal/geom"
 	"mstc/internal/mobility"
 	"mstc/internal/spatial"
@@ -104,6 +105,12 @@ type Medium struct {
 	// collision-model state (see collision.go)
 	txSeq uint64
 	txLog []txRecord
+
+	// ch is the attached non-ideal channel (nil = ideal). Transmissions —
+	// and only transmissions — pass through its loss chains; geometric
+	// queries (ReceiversAt, PositionsAt) stay loss-free so metrics and
+	// effective-topology snapshots measure the radio, not the channel.
+	ch *channel.Model
 }
 
 // NewMedium builds a medium over the mobility model. rng feeds the loss
@@ -141,6 +148,14 @@ func NewMedium(model mobility.Model, cfg Config, rng *xrand.Source) (*Medium, er
 
 // Delay returns the configured per-hop delivery delay.
 func (m *Medium) Delay() float64 { return m.cfg.Delay }
+
+// SetChannel attaches a non-ideal channel model. A nil model (the default)
+// is the ideal channel: Transmit consumes no channel randomness and the
+// medium behaves exactly as it did before the channel subsystem existed.
+func (m *Medium) SetChannel(ch *channel.Model) { m.ch = ch }
+
+// Channel returns the attached channel model (nil = ideal).
+func (m *Medium) Channel() *channel.Model { return m.ch }
 
 // N returns the node count.
 func (m *Medium) N() int { return m.model.N() }

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford accumulates scalar observations with Welford's online algorithm:
+// the running mean and the centered sum of squares M2 are updated per
+// observation, so the variance never forms the catastrophically cancelling
+// sum(x²) − n·mean² difference that Sample's moment form does. Use it where
+// observations share a large common offset (e.g. per-run transmission ranges
+// in the hundreds with millimeter spread); Sample keeps its moment form
+// because its byte-exact output feeds the golden digests. The zero value is
+// ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.mean
+}
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	v := w.m2 / float64(w.n-1)
+	if v < 0 { // numeric guard; m2 is non-negative up to rounding
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// CI95 returns the half-width of the 95 % Student-t confidence interval for
+// the mean (0 for n < 2).
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return tCrit95(w.n-1) * w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// String formats mean ± CI95.
+func (w *Welford) String() string {
+	return fmt.Sprintf("%.4f ± %.4f", w.Mean(), w.CI95())
+}
+
+// Merge folds the observations of o into w (Chan et al.'s pairwise update),
+// preserving the algorithm's numerical behavior across per-worker partials.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := float64(w.n + o.n)
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/n
+	w.mean += d * float64(o.n) / n
+	w.n += o.n
+}
