@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check bench bench-compare faults-smoke
+.PHONY: build test race vet lint check bench bench-compare faults-smoke resume-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,30 @@ faults-smoke:
 	$(GO) run ./cmd/paperfig -exp bufferzone -quick -reps 2 -duration 8 > /tmp/bufzone_a.txt
 	$(GO) run ./cmd/paperfig -exp bufferzone -quick -reps 2 -duration 8 > /tmp/bufzone_b.txt
 	cmp /tmp/bufzone_a.txt /tmp/bufzone_b.txt
+
+# Checkpoint / shard determinism smoke. A quick sweep is interrupted
+# halfway (-maxruns caps computed runs and drains exactly like SIGINT,
+# exiting 130), resumed from its store, and the resumed output is
+# byte-compared against an uninterrupted run. The same sweep computed as
+# two disjoint shards and merged with sweepctl must render the identical
+# bytes, with every record checksum verifying. Binaries are built first:
+# `go run` collapses the child's exit code to 1, and the 130 is asserted.
+SMOKE := /tmp/mstc_resume_smoke
+PFLAGS := -exp fig6 -quick -reps 2 -duration 8
+resume-smoke:
+	rm -rf $(SMOKE) && mkdir -p $(SMOKE)
+	$(GO) build -o $(SMOKE)/paperfig ./cmd/paperfig
+	$(GO) build -o $(SMOKE)/sweepctl ./cmd/sweepctl
+	$(SMOKE)/paperfig $(PFLAGS) > $(SMOKE)/direct.txt
+	$(SMOKE)/paperfig $(PFLAGS) -store $(SMOKE)/store -maxruns 7; test $$? -eq 130
+	$(SMOKE)/paperfig $(PFLAGS) -store $(SMOKE)/store -resume > $(SMOKE)/resumed.txt
+	cmp $(SMOKE)/direct.txt $(SMOKE)/resumed.txt
+	$(SMOKE)/paperfig $(PFLAGS) -store $(SMOKE)/shard0 -shard 0/2
+	$(SMOKE)/paperfig $(PFLAGS) -store $(SMOKE)/shard1 -shard 1/2
+	$(SMOKE)/sweepctl merge -into $(SMOKE)/merged $(SMOKE)/shard0 $(SMOKE)/shard1
+	$(SMOKE)/sweepctl verify $(SMOKE)/store $(SMOKE)/merged
+	$(SMOKE)/paperfig $(PFLAGS) -store $(SMOKE)/merged -resume > $(SMOKE)/merged.txt
+	cmp $(SMOKE)/direct.txt $(SMOKE)/merged.txt
 
 # Gate the hot path against the committed baseline trajectory: three
 # repetitions of BenchmarkSingleRun, compared by minimum ns/op; fails on a

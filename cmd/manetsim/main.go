@@ -25,6 +25,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"mstc/internal/geom"
 	"mstc/internal/manet"
@@ -39,6 +42,26 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("manetsim: ")
+
+	// Graceful interrupt: a single simulation run is the unit of work, so
+	// the first SIGINT/SIGTERM lets the in-flight run finish and print its
+	// metrics (and close any -record file cleanly), then the process exits
+	// 130. A second signal aborts immediately instead of killing mid-write.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() { //lint:ignore no-naked-goroutine signal watcher: only sets an atomic flag checked after the run completes
+		<-sigc
+		interrupted.Store(true)
+		log.Print("interrupt: finishing the in-flight run (^C again to abort)")
+		<-sigc
+		os.Exit(130)
+	}()
+	defer func() {
+		if interrupted.Load() {
+			os.Exit(130)
+		}
+	}()
 
 	var (
 		protocolName = flag.String("protocol", "RNG", "protocol: MST, RNG, GG, SPT-2, SPT-4, Yao-6, none")

@@ -6,39 +6,244 @@
 //	paperfig -exp table1
 //	paperfig -exp fig7 -reps 20 -duration 100   # paper scale
 //	paperfig -exp all -quick                    # fast pass over everything
+//
+// Long sweeps can be journaled, interrupted, resumed, and sharded across
+// processes through a result store (see internal/sweep and cmd/sweepctl):
+//
+//	paperfig -exp all -store runs/           # journal every completed run
+//	^C                                       # graceful drain, exit 130
+//	paperfig -exp all -store runs/ -resume   # skip journaled runs, finish
+//
+//	paperfig -exp fig7 -store s0 -shard 0/2  # machine A computes half
+//	paperfig -exp fig7 -store s1 -shard 1/2  # machine B the other half
+//	sweepctl merge -into merged s0 s1
+//	paperfig -exp fig7 -store merged -resume # render, zero recomputation
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"mstc/internal/channel"
 	"mstc/internal/experiment"
 	"mstc/internal/profiling"
+	"mstc/internal/sweep"
 )
+
+// expSpec is one runnable experiment: its -exp name, whether "all"
+// includes it, and the renderer. save persists -dat files; it is a no-op
+// when -dat is unset.
+type expSpec struct {
+	name  string
+	inAll bool
+	run   func(o experiment.Options, save func(name, content string)) error
+}
+
+// experiments returns the registry in presentation order. Unknown -exp
+// values are rejected against this list, so the flag's error message and
+// the dispatch can never drift apart.
+func experiments() []expSpec {
+	return []expSpec{
+		{"table1", true, func(o experiment.Options, save func(string, string)) error {
+			t, err := experiment.Table1(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			save("table1.txt", t.String())
+			return nil
+		}},
+		{"fig6", true, func(o experiment.Options, save func(string, string)) error {
+			f, err := experiment.Fig6(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f)
+			save("fig6.dat", f.Dat())
+			return nil
+		}},
+		{"fig7", true, func(o experiment.Options, save func(string, string)) error {
+			figs, err := experiment.Fig7(o)
+			if err != nil {
+				return err
+			}
+			for i, f := range figs {
+				fmt.Println(f)
+				save(fmt.Sprintf("fig7%c.dat", 'a'+i), f.Dat())
+			}
+			return nil
+		}},
+		{"fig8", true, func(o experiment.Options, save func(string, string)) error {
+			fa, fb, err := experiment.Fig8(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fa)
+			fmt.Println(fb)
+			save("fig8a.dat", fa.Dat())
+			save("fig8b.dat", fb.Dat())
+			return nil
+		}},
+		{"fig9", true, func(o experiment.Options, save func(string, string)) error {
+			figs, err := experiment.Fig9(o)
+			if err != nil {
+				return err
+			}
+			for i, f := range figs {
+				fmt.Println(f)
+				save(fmt.Sprintf("fig9%c.dat", 'a'+i), f.Dat())
+			}
+			return nil
+		}},
+		{"fig10", true, func(o experiment.Options, save func(string, string)) error {
+			figs, err := experiment.Fig10(o)
+			if err != nil {
+				return err
+			}
+			for i, f := range figs {
+				fmt.Println(f)
+				save(fmt.Sprintf("fig10%c.dat", 'a'+i), f.Dat())
+			}
+			return nil
+		}},
+		{"consistency", true, func(o experiment.Options, save func(string, string)) error {
+			for _, proto := range []string{"MST", "RNG"} {
+				f, err := experiment.FigConsistency(o, proto)
+				if err != nil {
+					return err
+				}
+				fmt.Println(f)
+				save("consistency_"+proto+".dat", f.Dat())
+			}
+			return nil
+		}},
+		{"energy", true, func(o experiment.Options, save func(string, string)) error {
+			t, err := experiment.TableEnergy(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			save("energy.txt", t.String())
+			return nil
+		}},
+		{"routing", true, func(o experiment.Options, save func(string, string)) error {
+			for _, proto := range []string{"GG", "RNG"} {
+				f, err := experiment.FigRouting(o, proto)
+				if err != nil {
+					return err
+				}
+				fmt.Println(f)
+				save("routing_"+proto+".dat", f.Dat())
+			}
+			return nil
+		}},
+		// The fault-injection experiments exercise the non-ideal channel
+		// subsystem. They are opt-in only — never part of "all" — so the
+		// byte-identical output contract of pre-channel invocations holds.
+		{"faults", false, func(o experiment.Options, save func(string, string)) error {
+			rates := []float64{0, 0.1, 0.2, 0.4, 0.6}
+			for _, model := range []channel.LossModel{channel.Bernoulli, channel.GilbertElliott} {
+				f, err := experiment.FigLoss(o, model, rates)
+				if err != nil {
+					return err
+				}
+				fmt.Println(f)
+				save("faults_loss_"+model.String()+".dat", f.Dat())
+			}
+			fd, err := experiment.FigDelay(o, []float64{0, 0.25, 0.5, 1.0})
+			if err != nil {
+				return err
+			}
+			fmt.Println(fd)
+			save("faults_delay.dat", fd.Dat())
+			fc, err := experiment.FigChurn(o, []float64{0, 0.1, 0.25, 0.5})
+			if err != nil {
+				return err
+			}
+			fmt.Println(fc)
+			save("faults_churn.dat", fc.Dat())
+			return nil
+		}},
+		{"bufferzone", false, func(o experiment.Options, save func(string, string)) error {
+			// Average speed 20 m/s (setdest max 40 m/s): predicted knees
+			// 2·Δ″·v = 0 / 40 / 80 m for Δ″ = 0 / 0.5 / 1.0 s, bracketed
+			// by the buffer grid.
+			delays := []float64{0, 0.5, 1.0}
+			buffers := []float64{0, 10, 20, 30, 40, 50, 60, 80, 100, 120, 160}
+			f, t, err := experiment.FigBufferZone(o, 20, delays, buffers)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f)
+			fmt.Println(t)
+			save("bufferzone.dat", f.Dat())
+			save("bufferzone_knees.txt", t.String())
+			return nil
+		}},
+	}
+}
+
+// expNames lists the registry's -exp values for flag help and errors.
+func expNames() (all, optIn []string) {
+	for _, s := range experiments() {
+		if s.inAll {
+			all = append(all, s.name)
+		} else {
+			optIn = append(optIn, s.name)
+		}
+	}
+	return all, optIn
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperfig: ")
 
+	allNames, optInNames := expNames()
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, fig9, fig10, consistency, routing, energy, all; fault-injection extras (not in all): faults, bufferzone")
-		reps     = flag.Int("reps", 0, "repetitions per configuration (default: paper's 20, or 3 with -quick)")
-		duration = flag.Float64("duration", 0, "simulated seconds per run (default: paper's 100, or 20 with -quick)")
-		quick    = flag.Bool("quick", false, "scaled-down options for a fast pass")
-		seed     = flag.Uint64("seed", 2004, "root seed")
-		workers  = flag.Int("workers", 0, "parallel runs (default GOMAXPROCS)")
-		datDir   = flag.String("dat", "", "also write gnuplot-ready .dat/.txt files into this directory")
-		timing   = flag.Bool("timing", false, "report wall-clock duration per experiment on stderr")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp = flag.String("exp", "all", fmt.Sprintf("experiment: %s, all; opt-in extras (not in all): %s",
+			strings.Join(allNames, ", "), strings.Join(optInNames, ", ")))
+		reps      = flag.Int("reps", 0, "repetitions per configuration (default: paper's 20, or 3 with -quick)")
+		duration  = flag.Float64("duration", 0, "simulated seconds per run (default: paper's 100, or 20 with -quick)")
+		quick     = flag.Bool("quick", false, "scaled-down options for a fast pass")
+		seed      = flag.Uint64("seed", 2004, "root seed")
+		workers   = flag.Int("workers", 0, "parallel runs (default GOMAXPROCS)")
+		datDir    = flag.String("dat", "", "also write gnuplot-ready .dat/.txt files into this directory")
+		timing    = flag.Bool("timing", false, "report wall-clock duration per experiment on stderr")
+		storeDir  = flag.String("store", "", "journal completed runs into this result store directory (see sweepctl)")
+		resume    = flag.Bool("resume", false, "reuse runs already journaled in -store instead of refusing a non-empty store")
+		shardSpec = flag.String("shard", "", "compute only slice i of n ('i/n'); requires -store, skips figure rendering")
+		maxRuns   = flag.Int("maxruns", 0, "stop gracefully after computing this many runs (0 = unlimited); exits 130 like an interrupt")
+		retries   = flag.Int("retries", 1, "extra attempts for a run that panics before journaling it as failed")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Resolve -exp against the registry up front: a typo must not start a
+	// multi-hour sweep of everything else first.
+	var selected []expSpec
+	for _, s := range experiments() {
+		if *exp == "all" && s.inAll || strings.EqualFold(*exp, s.name) {
+			selected = append(selected, s)
+		}
+	}
+	if len(selected) == 0 {
+		log.Printf("unknown experiment %q", *exp)
+		log.Printf("valid experiments: %s, all", strings.Join(allNames, ", "))
+		log.Printf("opt-in extras (not in all): %s", strings.Join(optInNames, ", "))
+		os.Exit(2)
+	}
 
 	// Profiles go to their own files; stdout stays byte-identical whether
 	// or not profiling is enabled.
@@ -75,6 +280,58 @@ func main() {
 	}
 	o.Seed = *seed
 	o.Workers = *workers
+	o.Retry = *retries
+
+	shard, err := sweep.ParseShard(*shardSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o.Shard = shard
+	if shard.Active() && *storeDir == "" {
+		log.Fatal("-shard requires -store: each shard journals its slice into its own store directory")
+	}
+	if *resume && *storeDir == "" {
+		log.Fatal("-resume requires -store")
+	}
+	if *storeDir != "" {
+		st, err := sweep.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Trusting prior records is an explicit opt-in: a non-empty store
+		// may hold runs from different options or an older binary, and
+		// silently reusing them would be the one way this subsystem could
+		// corrupt a figure. (Mismatched options are already fingerprint
+		// misses; the gate is for operator intent.)
+		if n, err := st.Count(); err != nil {
+			log.Fatal(err)
+		} else if n > 0 && !*resume {
+			log.Fatalf("store %s already holds %d runs; pass -resume to reuse them or choose a fresh directory", *storeDir, n)
+		}
+		o.Store = st
+	}
+
+	// Graceful interrupt: the first SIGINT/SIGTERM stops dispatching new
+	// runs; in-flight runs finish and are journaled, then the process
+	// exits 130. A second signal aborts immediately.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() { //lint:ignore no-naked-goroutine signal watcher: only sets an atomic drain flag polled by the worker pool
+		<-sigc
+		interrupted.Store(true)
+		log.Print("interrupt: draining in-flight runs (^C again to abort)")
+		<-sigc
+		os.Exit(130)
+	}()
+
+	// The run cap and the signal share the executor's interrupt hook; the
+	// computed counter spans every Execute of this invocation.
+	var computed atomic.Int64
+	o.Interrupt = func() bool {
+		return interrupted.Load() || (*maxRuns > 0 && computed.Load() >= int64(*maxRuns))
+	}
+	o.Progress = progressReporter(&computed, *storeDir != "")
 
 	if *datDir != "" {
 		if err := os.MkdirAll(*datDir, 0o755); err != nil {
@@ -91,193 +348,64 @@ func main() {
 		}
 	}
 
-	run := func(name string, fn func() error) {
+	for _, s := range selected {
 		var start time.Time
 		if clock != nil {
 			start = clock()
 		}
-		if err := fn(); err != nil {
-			log.Fatalf("%s: %v", name, err)
+		err := s.run(o, save)
+		switch {
+		case errors.Is(err, sweep.ErrInterrupted):
+			log.Printf("%s: %v", s.name, err)
+			os.Exit(130)
+		case errors.Is(err, sweep.ErrPartial):
+			// Expected under -shard: the slice is journaled; rendering
+			// needs the merged store.
+			log.Printf("%s: %v", s.name, err)
+		case err != nil:
+			log.Fatalf("%s: %v", s.name, err)
 		}
 		if clock != nil {
 			// log prints to stderr, keeping stdout reproducible.
-			log.Printf("[%s done in %v]", name, clock().Sub(start).Round(time.Millisecond))
+			log.Printf("[%s done in %v]", s.name, clock().Sub(start).Round(time.Millisecond))
 		}
 	}
+	if interrupted.Load() || (*maxRuns > 0 && computed.Load() >= int64(*maxRuns)) {
+		os.Exit(130)
+	}
+}
 
-	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
-	matched := false
-
-	if want("table1") {
-		matched = true
-		run("table1", func() error {
-			t, err := experiment.Table1(o)
-			if err != nil {
-				return err
-			}
-			fmt.Println(t)
-			save("table1.txt", t.String())
-			return nil
-		})
+// progressReporter returns the executor's Progress hook: it counts
+// computed runs (the -maxruns budget) and, when a store is active,
+// reports done/total, throughput, and ETA on stderr at most every two
+// seconds. It is called from worker goroutines and locks accordingly.
+func progressReporter(computed *atomic.Int64, report bool) func(done, total int) {
+	if !report {
+		return func(done, total int) { computed.Add(1) }
 	}
-	if want("fig6") {
-		matched = true
-		run("fig6", func() error {
-			f, err := experiment.Fig6(o)
-			if err != nil {
-				return err
-			}
-			fmt.Println(f)
-			save("fig6.dat", f.Dat())
-			return nil
-		})
-	}
-	if want("fig7") {
-		matched = true
-		run("fig7", func() error {
-			figs, err := experiment.Fig7(o)
-			if err != nil {
-				return err
-			}
-			for i, f := range figs {
-				fmt.Println(f)
-				save(fmt.Sprintf("fig7%c.dat", 'a'+i), f.Dat())
-			}
-			return nil
-		})
-	}
-	if want("fig8") {
-		matched = true
-		run("fig8", func() error {
-			fa, fb, err := experiment.Fig8(o)
-			if err != nil {
-				return err
-			}
-			fmt.Println(fa)
-			fmt.Println(fb)
-			save("fig8a.dat", fa.Dat())
-			save("fig8b.dat", fb.Dat())
-			return nil
-		})
-	}
-	if want("fig9") {
-		matched = true
-		run("fig9", func() error {
-			figs, err := experiment.Fig9(o)
-			if err != nil {
-				return err
-			}
-			for i, f := range figs {
-				fmt.Println(f)
-				save(fmt.Sprintf("fig9%c.dat", 'a'+i), f.Dat())
-			}
-			return nil
-		})
-	}
-	if want("fig10") {
-		matched = true
-		run("fig10", func() error {
-			figs, err := experiment.Fig10(o)
-			if err != nil {
-				return err
-			}
-			for i, f := range figs {
-				fmt.Println(f)
-				save(fmt.Sprintf("fig10%c.dat", 'a'+i), f.Dat())
-			}
-			return nil
-		})
-	}
-	if want("consistency") {
-		matched = true
-		run("consistency", func() error {
-			for _, proto := range []string{"MST", "RNG"} {
-				f, err := experiment.FigConsistency(o, proto)
-				if err != nil {
-					return err
-				}
-				fmt.Println(f)
-				save("consistency_"+proto+".dat", f.Dat())
-			}
-			return nil
-		})
-	}
-	if want("energy") {
-		matched = true
-		run("energy", func() error {
-			t, err := experiment.TableEnergy(o)
-			if err != nil {
-				return err
-			}
-			fmt.Println(t)
-			save("energy.txt", t.String())
-			return nil
-		})
-	}
-	if want("routing") {
-		matched = true
-		run("routing", func() error {
-			for _, proto := range []string{"GG", "RNG"} {
-				f, err := experiment.FigRouting(o, proto)
-				if err != nil {
-					return err
-				}
-				fmt.Println(f)
-				save("routing_"+proto+".dat", f.Dat())
-			}
-			return nil
-		})
-	}
-	// The fault-injection experiments exercise the non-ideal channel
-	// subsystem. They are opt-in only — never part of "all" — so the
-	// byte-identical output contract of pre-channel invocations holds.
-	if strings.EqualFold(*exp, "faults") {
-		matched = true
-		run("faults", func() error {
-			rates := []float64{0, 0.1, 0.2, 0.4, 0.6}
-			for _, model := range []channel.LossModel{channel.Bernoulli, channel.GilbertElliott} {
-				f, err := experiment.FigLoss(o, model, rates)
-				if err != nil {
-					return err
-				}
-				fmt.Println(f)
-				save("faults_loss_"+model.String()+".dat", f.Dat())
-			}
-			fd, err := experiment.FigDelay(o, []float64{0, 0.25, 0.5, 1.0})
-			if err != nil {
-				return err
-			}
-			fmt.Println(fd)
-			save("faults_delay.dat", fd.Dat())
-			fc, err := experiment.FigChurn(o, []float64{0, 0.1, 0.25, 0.5})
-			if err != nil {
-				return err
-			}
-			fmt.Println(fc)
-			save("faults_churn.dat", fc.Dat())
-			return nil
-		})
-	}
-	if strings.EqualFold(*exp, "bufferzone") {
-		matched = true
-		run("bufferzone", func() error {
-			// Average speed 20 m/s (setdest max 40 m/s): predicted knees
-			// 2·Δ″·v = 0 / 40 / 80 m for Δ″ = 0 / 0.5 / 1.0 s, bracketed
-			// by the buffer grid.
-			delays := []float64{0, 0.5, 1.0}
-			buffers := []float64{0, 10, 20, 30, 40, 50, 60, 80, 100, 120, 160}
-			f, t, err := experiment.FigBufferZone(o, 20, delays, buffers)
-			if err != nil {
-				return err
-			}
-			fmt.Println(f)
-			fmt.Println(t)
-			save("bufferzone.dat", f.Dat())
-			save("bufferzone_knees.txt", t.String())
-			return nil
-		})
-	}
-	if !matched {
-		log.Fatalf("unknown experiment %q (want table1, fig6..fig10, consistency, routing, energy, faults, bufferzone, or all)", *exp)
+	now := time.Now //lint:ignore no-wallclock stderr progress reporting only; never reaches figure output
+	var mu sync.Mutex
+	last, lastDone := now(), 0
+	return func(done, total int) {
+		computed.Add(1)
+		mu.Lock()
+		defer mu.Unlock()
+		if done < lastDone {
+			lastDone = 0 // a new Execute (new figure) restarted the count
+		}
+		t := now()
+		if t.Sub(last) < 2*time.Second {
+			return
+		}
+		// Windowed throughput: robust across the several Execute calls a
+		// multi-figure invocation makes.
+		rate := float64(done-lastDone) / t.Sub(last).Seconds()
+		last, lastDone = t, done
+		if rate <= 0 {
+			return
+		}
+		eta := time.Duration(float64(total-done) / rate * float64(time.Second)).Round(time.Second)
+		log.Printf("progress: %d/%d runs (%.0f%%), %.1f runs/s, ETA %v",
+			done, total, 100*float64(done)/float64(total), rate, eta)
 	}
 }

@@ -1,0 +1,212 @@
+// Command sweepctl inspects and maintains sweep result stores (the
+// content-addressed run journals cmd/paperfig writes with -store; see
+// internal/sweep).
+//
+//	sweepctl status <store>...                 record/failure/corrupt counts, checkpoint, summary
+//	sweepctl merge -into <dst> <src>...        combine shard stores into one
+//	sweepctl verify <store>...                 re-verify every checksum; exit 1 on corruption
+//	sweepctl gc [-fingerprint <fp>] <store>... drop tmp files, failures, corrupt (and foreign) records
+//
+// A typical sharded sweep:
+//
+//	paperfig -exp fig6 -store s0 -shard 0/2 &
+//	paperfig -exp fig6 -store s1 -shard 1/2 &
+//	wait
+//	sweepctl merge -into merged s0 s1
+//	paperfig -exp fig6 -store merged -resume   # renders with zero recomputation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mstc/internal/stats"
+	"mstc/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweepctl: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "status":
+		cmdStatus(os.Args[2:])
+	case "merge":
+		cmdMerge(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	case "gc":
+		cmdGC(os.Args[2:])
+	default:
+		log.Printf("unknown subcommand %q", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  sweepctl status <store>...
+  sweepctl merge -into <dst> <src>...
+  sweepctl verify <store>...
+  sweepctl gc [-fingerprint <fp>] <store>...`)
+	os.Exit(2)
+}
+
+func open(dir string) *sweep.Store {
+	s, err := sweep.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+// fpStats aggregates one fingerprint's records for the status report.
+type fpStats struct {
+	done, failed, corrupt int
+	// conn summarizes connectivity across completed runs, folded from
+	// per-record singletons with the pairwise Welford merge — the same
+	// combination shard aggregation relies on.
+	conn stats.Welford
+}
+
+func cmdStatus(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	failures := fs.Int("failures", 3, "failure records to detail per fingerprint")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+	for _, dir := range fs.Args() {
+		s := open(dir)
+		// Scan visits fingerprints in sorted order, so per-fingerprint
+		// aggregation is a streaming group-by.
+		var fps []string
+		agg := make(map[string]*fpStats)
+		shown := make(map[string]int)
+		err := s.Scan(func(info sweep.RecordInfo) error {
+			st := agg[info.Fingerprint]
+			if st == nil {
+				st = &fpStats{}
+				agg[info.Fingerprint] = st
+				fps = append(fps, info.Fingerprint)
+			}
+			switch {
+			case info.Err != nil:
+				st.corrupt++
+			case info.Failed:
+				st.failed++
+				if shown[info.Fingerprint] < *failures {
+					shown[info.Fingerprint]++
+					fmt.Printf("  FAILED (%d attempts) %s: %.120s\n",
+						info.Record.Attempts, info.Record.Desc, info.Record.Failure)
+				}
+			default:
+				var one stats.Welford
+				one.Add(info.Record.Result.Connectivity)
+				st.conn.Merge(one)
+				st.done++
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", dir)
+		if len(fps) == 0 {
+			fmt.Println("  empty")
+		}
+		for _, fp := range fps {
+			st := agg[fp]
+			fmt.Printf("  fingerprint %s: %d runs", fp, st.done)
+			if st.failed > 0 {
+				fmt.Printf(", %d failed", st.failed)
+			}
+			if st.corrupt > 0 {
+				fmt.Printf(", %d corrupt", st.corrupt)
+			}
+			if st.conn.N() > 0 {
+				fmt.Printf("  (connectivity %s)", st.conn.String())
+			}
+			fmt.Println()
+		}
+		if cp, ok := s.ReadCheckpoint(); ok {
+			state := "complete"
+			if cp.Interrupted {
+				state = "interrupted"
+			} else if cp.Done < cp.Total {
+				state = "in progress"
+			}
+			fmt.Printf("  last sweep: %d/%d computed (%s, fingerprint %s)\n",
+				cp.Done, cp.Total, state, cp.Fingerprint)
+		}
+	}
+}
+
+func cmdMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	into := fs.String("into", "", "destination store directory (created if missing)")
+	fs.Parse(args)
+	if *into == "" || fs.NArg() == 0 {
+		usage()
+	}
+	dst := open(*into)
+	for _, dir := range fs.Args() {
+		st, err := sweep.Merge(dst, open(dir))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s -> %s: %s\n", dir, *into, st)
+	}
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+	bad := 0
+	for _, dir := range fs.Args() {
+		ok, failed := 0, 0
+		err := open(dir).Scan(func(info sweep.RecordInfo) error {
+			switch {
+			case info.Err != nil:
+				bad++
+				fmt.Printf("%s: CORRUPT: %v\n", info.Path, info.Err)
+			case info.Failed:
+				failed++
+			default:
+				ok++
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d records verified, %d failure records\n", dir, ok, failed)
+	}
+	if bad > 0 {
+		log.Fatalf("%d corrupt records (re-run the sweep to replace them, or gc to drop them)", bad)
+	}
+}
+
+func cmdGC(args []string) {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	fp := fs.String("fingerprint", "", "also drop records not under this fingerprint")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+	for _, dir := range fs.Args() {
+		st, err := open(dir).GC(*fp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: removed %d tmp, %d failed, %d corrupt, %d foreign\n",
+			dir, st.Tmp, st.Failed, st.Corrupt, st.Foreign)
+	}
+}

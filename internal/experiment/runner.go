@@ -23,6 +23,7 @@ import (
 	"mstc/internal/mobility"
 	"mstc/internal/radio"
 	"mstc/internal/stats"
+	"mstc/internal/sweep"
 	"mstc/internal/topology"
 	"mstc/internal/xrand"
 )
@@ -68,6 +69,33 @@ type Options struct {
 	// Results are identical with or without it (the determinism tests pin
 	// that); the knob only trades CPU for a differential check.
 	NoSelectionCache bool
+
+	// Store, when non-nil, persists every completed run (keyed by the
+	// options fingerprint and the run's substream key) and satisfies
+	// tasks whose record already verifies without recomputing them. See
+	// internal/sweep for the on-disk format and crash-safety contract.
+	Store *sweep.Store
+	// Shard restricts computation to a deterministic slice of the task
+	// set (configuration group g is computed iff g % Count == Index).
+	// Requires Store; Execute returns sweep.ErrPartial once the slice is
+	// journaled, and full results only when foreign-shard records are
+	// already present (e.g. after a merge). The zero value disables
+	// sharding.
+	Shard sweep.Shard
+	// Retry is the number of additional attempts for a run whose
+	// simulation panics before it is journaled as a failure (0 = fail on
+	// the first panic). Deterministic configuration errors never retry.
+	Retry int
+	// Interrupt, when non-nil, is polled before each run is dispatched;
+	// once it returns true no new runs start, in-flight runs finish and
+	// are journaled, and Execute returns sweep.ErrInterrupted. Must be
+	// safe for concurrent use.
+	Interrupt func() bool
+	// Progress, when non-nil, is called after each *computed* run (store
+	// hits excluded) with the completed and total pending counts of the
+	// current Execute call. Must be safe for concurrent use; it is
+	// invoked from worker goroutines.
+	Progress func(done, total int)
 }
 
 // DefaultOptions returns the paper's configuration (§5.1).
@@ -109,6 +137,12 @@ func (o Options) Validate() error {
 		return fmt.Errorf("experiment: Reps = %d < 1", o.Reps)
 	case o.Duration <= 0:
 		return fmt.Errorf("experiment: Duration = %g", o.Duration)
+	}
+	if err := o.Shard.Validate(); err != nil {
+		return err
+	}
+	if o.Shard.Active() && o.Store == nil {
+		return fmt.Errorf("experiment: sharded execution requires a result store")
 	}
 	return nil
 }
@@ -233,22 +267,14 @@ func forEachTask(workers, n int, fn func(i int)) {
 }
 
 // Execute runs all tasks, Workers at a time, and returns their results in
-// task order.
+// task order. With Options.Store set, already-journaled runs are read
+// back instead of recomputed and fresh completions are journaled; see
+// executeAll (store.go) for the resumable/sharded semantics.
 func Execute(o Options, tasks []Run) ([]manet.Result, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	results := make([]manet.Result, len(tasks))
-	errs := make([]error, len(tasks))
-	forEachTask(o.Workers, len(tasks), func(i int) {
-		results[i], errs[i] = executeOne(o, tasks[i])
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return executeAll(o, tasks)
 }
 
 // executeOne builds and runs a single simulation.

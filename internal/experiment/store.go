@@ -1,0 +1,235 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sync/atomic"
+
+	"mstc/internal/manet"
+	"mstc/internal/sweep"
+)
+
+// This file is the glue between the experiment runner and the sweep
+// subsystem (internal/sweep): the options fingerprint, the canonical run
+// descriptor, and the store-aware execution path Execute dispatches to.
+// Figures never talk to the store directly — they keep calling Sweep /
+// Execute, which transparently reads stored runs and computes only the
+// misses, so a warm store renders every figure with zero recomputation.
+
+// Fingerprint identifies the option set a run's result depends on: a
+// 16-byte sha256 prefix over a canonical binary encoding of every
+// result-affecting Options field. Fields that provably cannot change a
+// result are excluded, so records are shared across them:
+//
+//   - Workers and the Progress/Interrupt/Store/Shard/Retry plumbing
+//     (determinism across worker counts is pinned by
+//     TestDeterminismRegression),
+//   - Radio.Slack (pinned by TestDigestUnchangedByStalenessCache),
+//   - NoSelectionCache (pinned by TestDigestUnchangedBySelectionCache),
+//   - Speeds, Buffers, and Reps, which shape the *task set* — per-run
+//     results depend only on the Run fields, so raising Reps or adding a
+//     speed reuses every already-stored run.
+func (o Options) Fingerprint() string {
+	h := sha256.New()
+	var b [8]byte
+	word := func(w uint64) {
+		binary.LittleEndian.PutUint64(b[:], w)
+		h.Write(b[:])
+	}
+	f := func(x float64) { word(math.Float64bits(x)) }
+	word(uint64(int64(o.N)))
+	f(o.ArenaSide)
+	f(o.NormalRange)
+	f(o.Duration)
+	f(o.FloodRate)
+	word(o.Seed)
+	f(o.Radio.Cell)
+	f(o.Radio.Delay)
+	f(o.Radio.LossRate)
+	f(o.Radio.TxDuration)
+	word(uint64(o.Channel.Loss.Model))
+	f(o.Channel.Loss.Rate)
+	f(o.Channel.Loss.MeanBurst)
+	f(o.Channel.Loss.GoodLoss)
+	f(o.Channel.Loss.BadLoss)
+	f(o.Channel.Delay.Min)
+	f(o.Channel.Delay.Max)
+	f(o.Channel.Churn.MeanUp)
+	f(o.Channel.Churn.MeanDown)
+	f(o.SnapshotEvery)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// desc renders the canonical run descriptor stored inside each record.
+// Get compares it byte-for-byte against the requesting task, so even a
+// full hash collision on the record address degrades to a cache miss.
+func (r Run) desc() string {
+	d := fmt.Sprintf("%s speed=%g rep=%d mech=%+v", r.Protocol, r.Speed, r.Rep, r.Mech)
+	if r.Channel.Enabled() {
+		d += fmt.Sprintf(" chan=%+v", r.Channel)
+	}
+	return d
+}
+
+// storeKey addresses the run's record under the given options fingerprint.
+func (r Run) storeKey(fp string) sweep.Key {
+	return sweep.Key{Fingerprint: fp, Run: r.key(), Rep: r.Rep}
+}
+
+// recoverRun invokes f up to 1+retries times, converting panics into
+// errors (with the first panic's stack attached). Non-panic errors are
+// deterministic configuration errors and are never retried. attempts
+// reports how many executions happened.
+func recoverRun(retries int, f func() (manet.Result, error)) (res manet.Result, attempts int, err error) {
+	if retries < 0 {
+		retries = 0
+	}
+	for attempts = 1; ; attempts++ {
+		var panicked bool
+		res, err = func() (res manet.Result, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					panicked = true
+					err = fmt.Errorf("run panicked: %v\n%s", p, debug.Stack())
+				}
+			}()
+			return f()
+		}()
+		if !panicked || attempts > retries {
+			return res, attempts, err
+		}
+	}
+}
+
+// taskState tracks how each task of one Execute call was satisfied.
+type taskState uint8
+
+const (
+	taskPending taskState = iota // queued for computation
+	taskDone                     // computed (and journaled, with a store)
+	taskHit                      // satisfied from the store
+	taskForeign                  // owned by another shard, not in the store
+	taskSkipped                  // interrupt drained it before dispatch
+	taskFailed                   // retry budget exhausted
+)
+
+// checkpointEvery is how many completions pass between advisory
+// checkpoint flushes. The per-record journal is flushed on *every*
+// completion regardless; this only paces the progress summary.
+const checkpointEvery = 32
+
+// executeAll is the single execution path behind Execute: it resolves
+// store hits, applies the shard partition, fans the remaining tasks over
+// the worker pool with panic recovery and a bounded retry budget,
+// journals completions, and honors the graceful-interrupt hook.
+func executeAll(o Options, tasks []Run) ([]manet.Result, error) {
+	results := make([]manet.Result, len(tasks))
+	state := make([]taskState, len(tasks))
+	keys := make([]sweep.Key, len(tasks))
+	var pending []int
+
+	if o.Store != nil {
+		fp := o.Fingerprint()
+		group := make(map[uint64]int, len(tasks))
+		for i, t := range tasks {
+			k := t.key()
+			g, seen := group[k]
+			if !seen {
+				g = len(group)
+				group[k] = g
+			}
+			keys[i] = t.storeKey(fp)
+			if res, ok := o.Store.Get(keys[i], t.desc()); ok {
+				results[i] = res
+				state[i] = taskHit
+				continue
+			}
+			if !o.Shard.Owns(g) {
+				state[i] = taskForeign
+				continue
+			}
+			pending = append(pending, i)
+		}
+	} else {
+		pending = make([]int, len(tasks))
+		for i := range tasks {
+			pending[i] = i
+		}
+	}
+
+	errs := make([]error, len(tasks))
+	var done atomic.Int64
+	total := len(pending)
+	forEachTask(o.Workers, len(pending), func(j int) {
+		i := pending[j]
+		if o.Interrupt != nil && o.Interrupt() {
+			state[i] = taskSkipped
+			return
+		}
+		t := tasks[i]
+		res, attempts, err := recoverRun(o.Retry, func() (manet.Result, error) {
+			return executeOne(o, t)
+		})
+		if err != nil {
+			state[i] = taskFailed
+			errs[i] = fmt.Errorf("%s: %w", t.desc(), err)
+			if o.Store != nil {
+				if perr := o.Store.PutFailure(keys[i], t.desc(), attempts, err.Error()); perr != nil {
+					errs[i] = fmt.Errorf("%v (and journaling the failure failed: %v)", errs[i], perr)
+				}
+			}
+			return
+		}
+		results[i] = res
+		state[i] = taskDone
+		if o.Store != nil {
+			if perr := o.Store.Put(keys[i], t.desc(), attempts, res); perr != nil {
+				errs[i] = perr
+				return
+			}
+		}
+		n := done.Add(1)
+		if o.Store != nil && n%checkpointEvery == 0 {
+			// Advisory; the per-record journal already holds the truth.
+			_ = o.Store.WriteCheckpoint(sweep.Checkpoint{
+				Fingerprint: keys[i].Fingerprint, Done: int(n), Total: total,
+			})
+		}
+		if o.Progress != nil {
+			o.Progress(int(n), total)
+		}
+	})
+
+	interrupted, foreign := false, false
+	for i := range state {
+		switch state[i] {
+		case taskSkipped:
+			interrupted = true
+		case taskForeign:
+			foreign = true
+		}
+	}
+	if o.Store != nil && total > 0 {
+		fp := keys[pending[0]].Fingerprint
+		_ = o.Store.WriteCheckpoint(sweep.Checkpoint{
+			Fingerprint: fp, Done: int(done.Load()), Total: total, Interrupted: interrupted,
+		})
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if interrupted {
+		return nil, fmt.Errorf("%d of %d runs remaining (in-flight runs journaled): %w",
+			total-int(done.Load()), total, sweep.ErrInterrupted)
+	}
+	if foreign {
+		return nil, fmt.Errorf("shard %s stored %d runs: %w", o.Shard, int(done.Load()), sweep.ErrPartial)
+	}
+	return results, nil
+}

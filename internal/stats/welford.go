@@ -67,6 +67,20 @@ func (w *Welford) String() string {
 	return fmt.Sprintf("%.4f ± %.4f", w.Mean(), w.CI95())
 }
 
+// State exposes the accumulator's internal triple (n, mean, M2) so a
+// partial can be serialized — e.g. into a sweep shard's summary — and
+// rebuilt bit-exactly with WelfordFromState on the merging side.
+func (w Welford) State() (n int, mean, m2 float64) {
+	return w.n, w.mean, w.m2
+}
+
+// WelfordFromState rebuilds the accumulator State exported. Passing a
+// triple not produced by State yields an accumulator whose statistics
+// are whatever the triple encodes; garbage in, garbage out.
+func WelfordFromState(n int, mean, m2 float64) Welford {
+	return Welford{n: n, mean: mean, m2: m2}
+}
+
 // Merge folds the observations of o into w (Chan et al.'s pairwise update),
 // preserving the algorithm's numerical behavior across per-worker partials.
 func (w *Welford) Merge(o Welford) {

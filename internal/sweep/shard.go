@@ -1,0 +1,76 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard selects a deterministic slice of a sweep's run set: shard i of n
+// owns every configuration group g with g % n == i. Groups — not
+// individual repetitions — are the unit of assignment, so all
+// repetitions of one configuration land in the same shard and its
+// per-configuration aggregate never spans processes. The zero value
+// (Count 0) and Count 1 both mean "everything".
+//
+// The group index is the configuration's first-appearance order in the
+// task list, which is itself deterministic, so independent processes
+// slicing the same sweep agree on ownership without coordination.
+type Shard struct {
+	Index, Count int
+}
+
+// Active reports whether the shard restricts the run set at all.
+func (s Shard) Active() bool { return s.Count > 1 }
+
+// Validate reports shard-specification errors.
+func (s Shard) Validate() error {
+	if s.Count < 0 || s.Index < 0 || (s.Count > 0 && s.Index >= s.Count) {
+		return fmt.Errorf("sweep: invalid shard %d/%d (want 0 <= index < count)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// Owns reports whether the shard computes configuration group g.
+func (s Shard) Owns(g int) bool {
+	if !s.Active() {
+		return true
+	}
+	return g%s.Count == s.Index
+}
+
+// String renders the "index/count" form ParseShard accepts.
+func (s Shard) String() string {
+	if !s.Active() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// ParseShard parses an "index/count" specification ("" means no
+// sharding), e.g. "0/4" … "3/4" for a four-way split.
+func ParseShard(spec string) (Shard, error) {
+	if spec == "" {
+		return Shard{}, nil
+	}
+	idx, cnt, ok := strings.Cut(spec, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("sweep: shard %q: want index/count, e.g. 0/4", spec)
+	}
+	i, err := strconv.Atoi(idx)
+	if err != nil {
+		return Shard{}, fmt.Errorf("sweep: shard index %q: %v", idx, err)
+	}
+	n, err := strconv.Atoi(cnt)
+	if err != nil {
+		return Shard{}, fmt.Errorf("sweep: shard count %q: %v", cnt, err)
+	}
+	s := Shard{Index: i, Count: n}
+	if err := s.Validate(); err != nil {
+		return Shard{}, err
+	}
+	if s.Count < 1 {
+		return Shard{}, fmt.Errorf("sweep: shard count %d < 1", s.Count)
+	}
+	return s, nil
+}

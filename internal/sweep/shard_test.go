@@ -1,0 +1,59 @@
+package sweep
+
+import "testing"
+
+// TestShardPartition is the partition property sharded sweeps rest on:
+// for every shard count, each configuration group is owned by exactly
+// one shard, so shard stores are disjoint and their union is complete.
+func TestShardPartition(t *testing.T) {
+	const groups = 257 // prime, so no count divides it evenly
+	for count := 1; count <= 16; count++ {
+		for g := 0; g < groups; g++ {
+			owners := 0
+			for idx := 0; idx < count; idx++ {
+				if (Shard{Index: idx, Count: count}).Owns(g) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("group %d owned by %d shards of %d, want exactly 1", g, owners, count)
+			}
+		}
+	}
+}
+
+// TestShardZeroValueOwnsEverything pins that the zero value (and count
+// 1) disable sharding entirely.
+func TestShardZeroValueOwnsEverything(t *testing.T) {
+	for _, s := range []Shard{{}, {Index: 0, Count: 1}} {
+		if s.Active() {
+			t.Errorf("%+v reports Active", s)
+		}
+		for g := 0; g < 10; g++ {
+			if !s.Owns(g) {
+				t.Errorf("%+v does not own group %d", s, g)
+			}
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"":    {},
+		"0/4": {Index: 0, Count: 4},
+		"3/4": {Index: 3, Count: 4},
+		"0/1": {Index: 0, Count: 1},
+	}
+	//lint:order-independent
+	for spec, want := range good {
+		got, err := ParseShard(spec)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %+v, %v, want %+v", spec, got, err, want)
+		}
+	}
+	for _, spec := range []string{"4/4", "-1/4", "2", "a/b", "1/0", "1/-2", "1/2/3"} {
+		if s, err := ParseShard(spec); err == nil {
+			t.Errorf("ParseShard(%q) accepted as %+v", spec, s)
+		}
+	}
+}
