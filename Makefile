@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check bench bench-compare faults-smoke resume-smoke
+.PHONY: build test race vet lint lint-json check bench bench-compare faults-smoke resume-smoke
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,17 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Full analyzer suite over the whole module (cmd/ included), gated on the
+# committed baseline: only findings whose IDs are not recorded in
+# lint.baseline.json fail. Regenerate the baseline (after review!) with
+#   go run ./cmd/manetlint -write-baseline lint.baseline.json ./...
 lint:
-	$(GO) run ./cmd/manetlint ./...
+	$(GO) run ./cmd/manetlint -baseline lint.baseline.json ./...
+
+# Same run, rendered as a JSON findings report (position-stable IDs, scope,
+# baselined marks). CI uploads this next to the benchmark report.
+lint-json:
+	$(GO) run ./cmd/manetlint -json -baseline lint.baseline.json ./... > manetlint.json
 
 # One iteration of every benchmark (smoke pass), rendered to BENCH.json by
 # cmd/benchreport. CI runs this and uploads the report as an artifact.

@@ -1,34 +1,55 @@
 // Command manetlint runs the project's determinism and simulation-safety
 // analyzers (internal/lint) over the module and exits nonzero on any
-// finding. It is stdlib-only: packages are parsed with go/parser and
-// type-checked with go/types against GOROOT sources.
+// non-baselined finding. It is stdlib-only: packages are parsed with
+// go/parser and type-checked with go/types against GOROOT sources.
 //
 // Usage:
 //
 //	go run ./cmd/manetlint ./...
-//	go run ./cmd/manetlint ./internal/... ./cmd/paperfig
+//	go run ./cmd/manetlint -json ./... > manetlint.json
+//	go run ./cmd/manetlint -baseline lint.baseline.json ./...
+//	go run ./cmd/manetlint -write-baseline lint.baseline.json ./...
 //
-// Findings print as file:line:col: check: message. A finding is suppressed
-// by a same-line (or line-above) comment `//lint:ignore <check> <reason>`;
-// range-over-map loops are instead annotated `//lint:order-independent`.
-// Run with -checks to list the analyzer suite.
+// Findings print as file:line:col: check: message, or as a JSON report
+// with -json. Each finding carries a position-stable ID (hash of file,
+// check, enclosing declaration, message and occurrence — not line
+// numbers); -baseline FILE suppresses the exit status for IDs recorded in
+// FILE, so grandfathered findings are tracked in-tree while anything new
+// fails the build. -write-baseline snapshots the current findings.
+//
+// A finding is suppressed at the source with a same-line (or line-above)
+// comment `//lint:ignore <check> <reason>`; range-over-map loops are
+// instead annotated `//lint:order-independent`. Run with -checks to list
+// the analyzer suite.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"mstc/internal/lint"
 )
 
+// report is the -json output shape.
+type report struct {
+	Module   string         `json:"module"`
+	Patterns []string       `json:"patterns"`
+	Total    int            `json:"total"`
+	Fresh    int            `json:"fresh"` // findings not covered by the baseline
+	Findings []lint.Finding `json:"findings"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("manetlint: ")
 	listChecks := flag.Bool("checks", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit the findings as a JSON report on stdout")
+	baselinePath := flag.String("baseline", "", "only fail on findings absent from this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "snapshot current findings to this baseline file and exit")
 	flag.Parse()
 
 	analyzers := lint.AllAnalyzers()
@@ -71,15 +92,50 @@ func main() {
 	cfg := lint.DefaultConfig()
 	diags := lint.Run(pkgs, cfg, analyzers)
 	diags = append(diags, lint.BadSuppressions(pkgs, cfg)...)
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+	findings := lint.Findings(diags, root)
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, findings); err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		fmt.Printf("manetlint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
 	}
-	if len(diags) > 0 {
-		fmt.Printf("manetlint: %d finding(s)\n", len(diags))
+
+	var base *lint.Baseline
+	if *baselinePath != "" {
+		base, err = lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fresh := lint.ApplyBaseline(findings, base)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{
+			Module:   module,
+			Patterns: patterns,
+			Total:    len(findings),
+			Fresh:    len(fresh),
+			Findings: findings,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			suffix := ""
+			if f.Baselined {
+				suffix = " (baselined)"
+			}
+			fmt.Printf("%s%s\n", f, suffix)
+		}
+		if len(findings) > 0 {
+			fmt.Printf("manetlint: %d finding(s), %d fresh\n", len(findings), len(fresh))
+		}
+	}
+	if len(fresh) > 0 {
 		os.Exit(1)
 	}
 }

@@ -77,6 +77,7 @@ func FigRouting(o Options, protocol string) (Figure, error) {
 
 func runUnicastOnce(o Options, protocol string, speed float64, mech manet.Mechanisms, rep int) (manet.UnicastResult, error) {
 	lo, hi := mobility.SpeedSetdest(speed)
+	//lint:ignore substream deliberate pairing: same 'm' labels as runOne so unicast runs replay the exact flood-evaluation mobility traces
 	mobilitySeed := xrand.New(o.Seed).Sub('m', uint64(speed*1000), uint64(rep)).Uint64()
 	model, err := mobility.NewRandomWaypoint(geom.Square(o.ArenaSide), mobility.WaypointConfig{
 		N: o.N, SpeedMin: lo, SpeedMax: hi, Horizon: o.Duration,

@@ -173,6 +173,9 @@ type Run struct {
 // ignored), get distinct substream labels. Rep is deliberately excluded:
 // repetitions of one configuration share the label and are distinguished
 // by the substream index.
+//
+//manet:hashes Run
+//manet:hash-exclude Rep repetitions share the configuration label and are distinguished by the Sub(..., rep) substream index
 func (r Run) key() uint64 {
 	const (
 		fnvOffset = 14695981039346656037
@@ -283,6 +286,7 @@ func executeOne(o Options, r Run) (manet.Result, error) {
 	lo, hi := mobility.SpeedSetdest(r.Speed)
 	// Paired mobility: same (seed, speed, rep) trace for every protocol
 	// and mechanism configuration.
+	//lint:ignore substream deliberate pairing: this and runUnicastOnce derive the SAME 'm' stream so unicast runs replay the exact flood-evaluation mobility traces
 	mobilitySeed := xrand.New(o.Seed).Sub('m', uint64(r.Speed*1000), uint64(r.Rep)).Uint64()
 	model, err := mobility.NewRandomWaypoint(arena, mobility.WaypointConfig{
 		N: o.N, SpeedMin: lo, SpeedMax: hi, Horizon: o.Duration,

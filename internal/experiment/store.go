@@ -33,6 +33,18 @@ import (
 //   - Speeds, Buffers, and Reps, which shape the *task set* — per-run
 //     results depend only on the Run fields, so raising Reps or adding a
 //     speed reuses every already-stored run.
+//
+//manet:hashes Options
+//manet:hash-exclude Workers determinism across worker counts is pinned by TestDeterminismRegression
+//manet:hash-exclude Speeds task-set shape; per-run results depend only on Run fields
+//manet:hash-exclude Buffers task-set shape; per-run results depend only on Run fields
+//manet:hash-exclude Reps task-set shape; per-run results depend only on Run fields
+//manet:hash-exclude NoSelectionCache result-identical by construction, pinned by TestDigestUnchangedBySelectionCache
+//manet:hash-exclude Store storage backend choice cannot change what is computed
+//manet:hash-exclude Shard sharding selects which runs compute, never their values
+//manet:hash-exclude Retry retries replay the same deterministic run
+//manet:hash-exclude Interrupt interruption stops dispatch; completed runs are unchanged
+//manet:hash-exclude Progress reporting callback cannot affect results
 func (o Options) Fingerprint() string {
 	h := sha256.New()
 	var b [8]byte

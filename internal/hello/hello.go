@@ -272,6 +272,7 @@ func (t *Table) Latest(now float64) []Message {
 // LatestInto is Latest appending into dst (which may be nil), for hot paths
 // that reuse a scratch buffer across calls. Appended entries ascend by
 // neighbor id; dst's existing contents are untouched.
+//manet:noalloc
 func (t *Table) LatestInto(dst []Message, now float64) []Message {
 	if t.m == nil {
 		// Dense layout iterates ids ascending; no sort needed.
@@ -307,6 +308,7 @@ func (t *Table) History(id int, now float64) []Message {
 
 // HistoryInto is History appending into dst (which may be nil); it appends
 // nothing when the neighbor is absent or expired.
+//manet:noalloc
 func (t *Table) HistoryInto(dst []Message, id int, now float64) []Message {
 	h := t.history(id)
 	if !t.live(h, now) {
@@ -324,6 +326,7 @@ func (t *Table) Versioned(version uint64, now float64) []Message {
 }
 
 // VersionedInto is Versioned appending into dst (which may be nil).
+//manet:noalloc
 func (t *Table) VersionedInto(dst []Message, version uint64, now float64) []Message {
 	if t.m == nil {
 		for _, h := range t.dense {
@@ -367,6 +370,7 @@ func (t *Table) AsOf(v uint64, now float64) []Message {
 }
 
 // AsOfInto is AsOf appending into dst (which may be nil).
+//manet:noalloc
 func (t *Table) AsOfInto(dst []Message, v uint64, now float64) []Message {
 	if t.m == nil {
 		for _, h := range t.dense {

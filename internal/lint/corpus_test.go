@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorpus runs every archive under testdata/ through its named analyzer
+// and asserts the exact finding set. Each archive is a txtar-style file:
+// a header of "key value" directives, then "-- name.go --" file sections
+// forming one fixture package, then a "-- want --" section listing expected
+// findings as "file:line:col: check" lines (empty or absent for clean
+// fixtures). Header directives:
+//
+//	analyzer <name>   which analyzer to run (required)
+//	relpath <path>    module-relative package path (default internal/fixture)
+//	keycov <pair>     replace Config.KeyCoverage with these lines (repeatable)
+//
+// The archives double as executable documentation: every analyzer has
+// positive, negative and suppressed cases side by side.
+func TestCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no corpus archives under testdata/")
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range AllAnalyzers() {
+		byName[a.Name] = a
+	}
+	for _, path := range paths {
+		path := path
+		name := strings.TrimSuffix(filepath.Base(path), ".txt")
+		t.Run(name, func(t *testing.T) {
+			arch := parseArchive(t, path)
+			analyzer := byName[arch.analyzer]
+			if analyzer == nil {
+				t.Fatalf("%s: unknown analyzer %q", path, arch.analyzer)
+			}
+			pkg := loadFixtureFiles(t, arch.relPath, arch.files)
+			cfg := DefaultConfig()
+			if arch.keycov != nil {
+				cfg.KeyCoverage = arch.keycov
+			}
+			diags := Run([]*Package{pkg}, cfg, []*Analyzer{analyzer})
+			assertDiags(t, diags, arch.want...)
+		})
+	}
+}
+
+// corpusArchive is one parsed testdata archive.
+type corpusArchive struct {
+	analyzer string
+	relPath  string
+	keycov   []string
+	files    []fixtureFile
+	want     []string
+}
+
+type fixtureFile struct {
+	name string
+	data string
+}
+
+// parseArchive decodes the minimal txtar dialect described on TestCorpus.
+func parseArchive(t *testing.T, path string) *corpusArchive {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := &corpusArchive{relPath: "internal/fixture"}
+	var cur *strings.Builder
+	flush := func() {}
+	inWant := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := sectionMarker(line); ok {
+			flush()
+			inWant = name == "want"
+			if inWant {
+				cur = nil
+				flush = func() {}
+				continue
+			}
+			b := &strings.Builder{}
+			cur = b
+			arch.files = append(arch.files, fixtureFile{name: name})
+			idx := len(arch.files) - 1
+			flush = func() { arch.files[idx].data = b.String() }
+			continue
+		}
+		switch {
+		case inWant:
+			if s := strings.TrimSpace(line); s != "" {
+				arch.want = append(arch.want, s)
+			}
+		case cur != nil:
+			cur.WriteString(line)
+			cur.WriteString("\n")
+		default: // header
+			s := strings.TrimSpace(line)
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			key, val, _ := strings.Cut(s, " ")
+			val = strings.TrimSpace(val)
+			switch key {
+			case "analyzer":
+				arch.analyzer = val
+			case "relpath":
+				arch.relPath = val
+			case "keycov":
+				arch.keycov = append(arch.keycov, val)
+			default:
+				t.Fatalf("%s: unknown header directive %q", path, key)
+			}
+		}
+	}
+	flush()
+	if arch.analyzer == "" {
+		t.Fatalf("%s: missing 'analyzer' header directive", path)
+	}
+	if len(arch.files) == 0 {
+		t.Fatalf("%s: archive has no fixture files", path)
+	}
+	return arch
+}
+
+// sectionMarker recognizes "-- name --" lines.
+func sectionMarker(line string) (string, bool) {
+	line = strings.TrimRight(line, " \t\r")
+	if !strings.HasPrefix(line, "-- ") || !strings.HasSuffix(line, " --") {
+		return "", false
+	}
+	name := strings.TrimSpace(line[3 : len(line)-3])
+	return name, name != ""
+}
+
+// loadFixtureFiles is loadFixture for multi-file fixture packages. Fixtures
+// must be well-typed: a type error usually means the archive is broken, and
+// analyzers skip packages without full type information anyway.
+func loadFixtureFiles(t *testing.T, relPath string, files []fixtureFile) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg := &Package{
+		PkgPath: "mstc/" + relPath,
+		RelPath: relPath,
+		Fset:    fset,
+	}
+	for _, ff := range files {
+		f, err := parser.ParseFile(fset, ff.name, ff.data, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", ff.name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	imp := &moduleImporter{module: "mstc", loaded: map[string]*Package{}, fallback: fixtureFallback}
+	if err := typeCheck(fset, pkg, imp); err != nil {
+		t.Fatalf("typecheck fixture: %v", err)
+	}
+	for _, te := range pkg.TypeErrors {
+		t.Errorf("fixture type error: %v", te)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return pkg
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is the externally-visible, position-stable form of a Diagnostic:
+// what -json emits and what baselines store.
+type Finding struct {
+	// ID is a stable hash of (module-relative file, check, enclosing
+	// declaration, message, occurrence index). Line numbers are excluded
+	// on purpose: edits above a finding move it without changing what it
+	// is, and baselines must survive that.
+	ID        string `json:"id"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Check     string `json:"check"`
+	Scope     string `json:"scope,omitempty"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+// String formats the finding the way compilers do.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// Findings converts diagnostics (as returned by Run) into findings with
+// stable IDs. moduleRoot, when non-empty, makes file paths
+// module-relative so IDs and baselines are machine-independent.
+func Findings(diags []Diagnostic, moduleRoot string) []Finding {
+	counts := make(map[string]int)
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		rel := filepath.ToSlash(d.Pos.Filename)
+		if moduleRoot != "" {
+			if r, err := filepath.Rel(moduleRoot, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				rel = filepath.ToSlash(r)
+			}
+		}
+		key := strings.Join([]string{rel, d.Check, d.Scope, d.Message}, "\x00")
+		n := counts[key]
+		counts[key] = n + 1
+		sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d", key, n)))
+		out = append(out, Finding{
+			ID:      hex.EncodeToString(sum[:8]),
+			File:    rel,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Scope:   d.Scope,
+			Message: d.Message,
+		})
+	}
+	return out
+}
+
+// Baseline is a committed snapshot of grandfathered findings: the gate
+// mode fails only on findings whose IDs are not listed here.
+type Baseline struct {
+	Comment  string    `json:"comment,omitempty"`
+	Findings []Finding `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline snapshots the findings to path, sorted by ID for diff
+// stability.
+func WriteBaseline(path string, findings []Finding) error {
+	b := Baseline{
+		Comment:  "manetlint baseline: grandfathered findings; regenerate with manetlint -write-baseline",
+		Findings: append([]Finding(nil), findings...),
+	}
+	for i := range b.Findings {
+		b.Findings[i].Baselined = false
+	}
+	sort.Slice(b.Findings, func(i, j int) bool { return b.Findings[i].ID < b.Findings[j].ID })
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline marks findings whose IDs the baseline lists and returns
+// the fresh (non-baselined) ones. A nil baseline leaves everything fresh.
+func ApplyBaseline(findings []Finding, b *Baseline) (fresh []Finding) {
+	known := make(map[string]bool)
+	if b != nil {
+		for _, f := range b.Findings {
+			known[f.ID] = true
+		}
+	}
+	for i := range findings {
+		if known[findings[i].ID] {
+			findings[i].Baselined = true
+		} else {
+			fresh = append(fresh, findings[i])
+		}
+	}
+	return fresh
+}
+
+// declNameAt returns the display name of the top-level declaration
+// enclosing pos ("" when pos sits outside every declaration). Doc comments
+// count as part of their declaration so directive findings anchor to the
+// function they annotate.
+func declNameAt(pkg *Package, pos token.Pos) string {
+	for _, f := range pkg.Files {
+		if pos < f.FileStart || pos > f.FileEnd {
+			continue
+		}
+		for _, decl := range f.Decls {
+			lo := decl.Pos()
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Doc != nil {
+					lo = d.Doc.Pos()
+				}
+				if pos >= lo && pos <= d.End() {
+					return funcDisplayName(d)
+				}
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					lo = d.Doc.Pos()
+				}
+				if pos < lo || pos > d.End() {
+					continue
+				}
+				for _, spec := range d.Specs {
+					if pos < spec.Pos() || pos > spec.End() {
+						continue
+					}
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						return s.Name.Name
+					case *ast.ValueSpec:
+						if len(s.Names) > 0 {
+							return s.Names[0].Name
+						}
+					}
+				}
+			}
+		}
+	}
+	return ""
+}

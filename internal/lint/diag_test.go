@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+// diagAt builds a Diagnostic the way Reportf would, with an explicit
+// position.
+func diagAt(file string, line, col int, check, scope, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:     token.Position{Filename: file, Line: line, Column: col},
+		Check:   check,
+		Scope:   scope,
+		Message: msg,
+	}
+}
+
+func TestFindingIDStableUnderLineShifts(t *testing.T) {
+	before := Findings([]Diagnostic{
+		diagAt("internal/manet/flood.go", 30, 2, "substream", "originateFlood", "raw Intn draw"),
+	}, "")
+	// The same finding after 40 lines were inserted above it.
+	after := Findings([]Diagnostic{
+		diagAt("internal/manet/flood.go", 70, 6, "substream", "originateFlood", "raw Intn draw"),
+	}, "")
+	if before[0].ID != after[0].ID {
+		t.Errorf("ID changed across a pure line shift: %s vs %s", before[0].ID, after[0].ID)
+	}
+	if before[0].Line == after[0].Line {
+		t.Fatal("test is vacuous: positions did not differ")
+	}
+}
+
+func TestFindingIDDiscriminates(t *testing.T) {
+	base := diagAt("a.go", 1, 1, "noalloc", "hot", "make allocates")
+	vary := []Diagnostic{
+		diagAt("b.go", 1, 1, "noalloc", "hot", "make allocates"),
+		diagAt("a.go", 1, 1, "substream", "hot", "make allocates"),
+		diagAt("a.go", 1, 1, "noalloc", "cold", "make allocates"),
+		diagAt("a.go", 1, 1, "noalloc", "hot", "new allocates"),
+	}
+	baseID := Findings([]Diagnostic{base}, "")[0].ID
+	for i, d := range vary {
+		if id := Findings([]Diagnostic{d}, "")[0].ID; id == baseID {
+			t.Errorf("variant %d collided with the base ID %s", i, baseID)
+		}
+	}
+}
+
+func TestFindingIDOccurrenceIndex(t *testing.T) {
+	// Two identical findings in one scope (e.g. two makes in one function)
+	// get distinct IDs via the occurrence index, deterministically.
+	d := diagAt("a.go", 3, 1, "noalloc", "hot", "make allocates")
+	d2 := d
+	d2.Pos.Line = 9
+	fs := Findings([]Diagnostic{d, d2}, "")
+	if fs[0].ID == fs[1].ID {
+		t.Errorf("same-scope duplicates share ID %s", fs[0].ID)
+	}
+	again := Findings([]Diagnostic{d, d2}, "")
+	if fs[0].ID != again[0].ID || fs[1].ID != again[1].ID {
+		t.Error("occurrence-indexed IDs are not deterministic")
+	}
+}
+
+func TestFindingsModuleRelativePaths(t *testing.T) {
+	root := filepath.Join("/", "home", "u", "repo")
+	abs := filepath.Join(root, "internal", "geom", "geom.go")
+	fs := Findings([]Diagnostic{diagAt(abs, 1, 1, "float-eq", "Eq", "m")}, root)
+	if fs[0].File != "internal/geom/geom.go" {
+		t.Errorf("File = %q, want module-relative path", fs[0].File)
+	}
+	// Identical finding reported from a different checkout location.
+	other := filepath.Join("/", "ci", "ws")
+	fs2 := Findings([]Diagnostic{diagAt(filepath.Join(other, "internal", "geom", "geom.go"), 1, 1, "float-eq", "Eq", "m")}, other)
+	if fs[0].ID != fs2[0].ID {
+		t.Error("IDs differ across checkout locations")
+	}
+	// Files outside the module root keep their path untouched.
+	out := Findings([]Diagnostic{diagAt("/elsewhere/x.go", 1, 1, "float-eq", "", "m")}, root)
+	if out[0].File != "/elsewhere/x.go" {
+		t.Errorf("File = %q, want untouched out-of-root path", out[0].File)
+	}
+}
+
+func TestBaselineRoundTripAndGate(t *testing.T) {
+	fs := Findings([]Diagnostic{
+		diagAt("a.go", 1, 1, "noalloc", "hot", "make allocates"),
+		diagAt("a.go", 5, 1, "substream", "alias", "aliased source"),
+	}, "")
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	// Baseline only the first finding.
+	if err := WriteBaseline(path, fs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 1 || b.Findings[0].ID != fs[0].ID {
+		t.Fatalf("round-trip lost the finding: %+v", b.Findings)
+	}
+
+	fresh := ApplyBaseline(fs, b)
+	if len(fresh) != 1 || fresh[0].ID != fs[1].ID {
+		t.Fatalf("fresh = %+v, want only the non-baselined finding", fresh)
+	}
+	if !fs[0].Baselined || fs[1].Baselined {
+		t.Errorf("Baselined marks wrong: %v %v", fs[0].Baselined, fs[1].Baselined)
+	}
+
+	// A nil baseline leaves everything fresh.
+	fs2 := Findings([]Diagnostic{diagAt("a.go", 1, 1, "noalloc", "hot", "make allocates")}, "")
+	if fresh := ApplyBaseline(fs2, nil); len(fresh) != 1 {
+		t.Errorf("nil baseline: %d fresh findings, want 1", len(fresh))
+	}
+}
+
+func TestWriteBaselineClearsBaselinedFlag(t *testing.T) {
+	fs := Findings([]Diagnostic{diagAt("a.go", 1, 1, "noalloc", "hot", "make allocates")}, "")
+	fs[0].Baselined = true
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, fs); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Findings[0].Baselined {
+		t.Error("snapshot kept a stale Baselined mark")
+	}
+}
+
+func TestScopeAnchorsFindings(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+// doc comments count as part of the declaration.
+func clocky() {
+	_ = time.Now()
+}
+
+var t0 = time.Now()
+`
+	pkg := loadFixture(t, "internal/fixture", src)
+	diags := Run([]*Package{pkg}, DefaultConfig(), []*Analyzer{NoWallclock})
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(diags), diags)
+	}
+	if diags[0].Scope != "clocky" {
+		t.Errorf("scope of in-function finding = %q, want clocky", diags[0].Scope)
+	}
+	if diags[1].Scope != "t0" {
+		t.Errorf("scope of package-var finding = %q, want t0", diags[1].Scope)
+	}
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file parses the //manet: source directives the flow-aware analyzers
+// consume. Three directives exist, all placed in a function's doc comment:
+//
+//	//manet:hashes <Type>
+//	    declares that the function is the canonical hash/key function of
+//	    the named struct type (in the same package); the key-coverage
+//	    analyzer then proves every field of <Type> is read in the function
+//	    body (transitively through same-package helpers) or excluded.
+//
+//	//manet:hash-exclude <Field> <reason>
+//	    names one field of the hashed type that is deliberately NOT part of
+//	    the hash, with a mandatory reason. Only meaningful next to a
+//	    //manet:hashes directive.
+//
+//	//manet:noalloc
+//	    declares that the function (and everything it calls statically
+//	    within its package) must not allocate in steady state; the noalloc
+//	    analyzer rejects allocating constructs in its body, and generated
+//	    AllocsPerRun conformance tests pin the claim at runtime.
+
+// hashDirective is one parsed //manet:hashes annotation with its exclusions.
+type hashDirective struct {
+	TypeName string            // the hashed struct type, same package
+	Excludes map[string]string // field name -> reason
+	Fn       *ast.FuncDecl     // the annotated hash function
+	Pos      token.Pos         // position of the //manet:hashes comment
+}
+
+// funcDirectives scans one function's doc comment for manet directives and
+// returns the hash directive (nil if absent) and whether //manet:noalloc is
+// present. Malformed directives are reported through report (which may be
+// nil to ignore them).
+func funcDirectives(fn *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) (hd *hashDirective, noalloc bool) {
+	if fn.Doc == nil {
+		return nil, false
+	}
+	for _, c := range fn.Doc.List {
+		text := c.Text
+		switch {
+		case text == "//manet:noalloc" || strings.HasPrefix(text, "//manet:noalloc "):
+			noalloc = true
+		case strings.HasPrefix(text, "//manet:hashes"):
+			arg := strings.TrimSpace(strings.TrimPrefix(text, "//manet:hashes"))
+			if arg == "" || strings.ContainsAny(arg, " \t") {
+				if report != nil {
+					report(c.Pos(), "manet:hashes needs exactly one type name")
+				}
+				continue
+			}
+			if hd != nil {
+				if report != nil {
+					report(c.Pos(), "duplicate manet:hashes directive (already hashes %s)", hd.TypeName)
+				}
+				continue
+			}
+			hd = &hashDirective{TypeName: arg, Excludes: make(map[string]string), Fn: fn, Pos: c.Pos()}
+		case strings.HasPrefix(text, "//manet:hash-exclude"):
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "//manet:hash-exclude"))
+			field, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if field == "" || reason == "" {
+				if report != nil {
+					report(c.Pos(), "manet:hash-exclude needs a field name and a reason")
+				}
+				continue
+			}
+			if hd == nil {
+				if report != nil {
+					report(c.Pos(), "manet:hash-exclude without a preceding manet:hashes directive")
+				}
+				continue
+			}
+			if _, dup := hd.Excludes[field]; dup {
+				if report != nil {
+					report(c.Pos(), "duplicate manet:hash-exclude for field %s", field)
+				}
+				continue
+			}
+			hd.Excludes[field] = reason
+		case strings.HasPrefix(text, "//manet:"):
+			if report != nil {
+				report(c.Pos(), "unknown manet directive %q", strings.TrimPrefix(strings.SplitN(text, " ", 2)[0], "//"))
+			}
+		}
+	}
+	return hd, noalloc
+}
+
+// funcDisplayName renders a FuncDecl's name the way the conformance tests
+// and diagnostics refer to it: "Recv.Name" for methods (pointer receivers
+// stripped), plain "Name" for functions.
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// NoallocFuncs parses the non-test Go files in dir (no type checking) and
+// returns the display names ("Recv.Name" or "Name") of every function
+// annotated //manet:noalloc, sorted. The generated AllocsPerRun conformance
+// tests use this to assert their coverage maps match the annotations in
+// both directions.
+func NoallocFuncs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", e.Name(), err)
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, noalloc := funcDirectives(fn, nil); noalloc {
+				names = append(names, funcDisplayName(fn))
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -41,6 +41,9 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string // analyzer name, e.g. "no-wallclock"
 	Message string
+	// Scope is the top-level declaration enclosing the finding; it feeds
+	// the position-stable finding IDs (see diag.go).
+	Scope string
 }
 
 // String formats the diagnostic the way compilers do: file:line:col: check: msg.
@@ -73,6 +76,11 @@ type Config struct {
 	// GlobalVarAllowed are the files allowed to declare package-level
 	// mutable variables.
 	GlobalVarAllowed []string
+	// KeyCoverage lists hash/key pairs that MUST carry a //manet:hashes
+	// annotation, as "relpath:Func=Type" (methods as "Recv.Name"). The
+	// key-coverage analyzer reports a missing required annotation, so the
+	// check cannot be opted out of by deleting the directive.
+	KeyCoverage []string
 }
 
 // DefaultConfig returns the repository's enforcement policy.
@@ -91,6 +99,13 @@ func DefaultConfig() Config {
 			"internal/lint/goroutine.go",
 			"internal/lint/floateq.go",
 			"internal/lint/globals.go",
+			"internal/lint/keycov.go",
+			"internal/lint/substream.go",
+			"internal/lint/noalloc.go",
+		},
+		KeyCoverage: []string{
+			"internal/experiment:Run.key=Run",
+			"internal/experiment:Options.Fingerprint=Options",
 		},
 	}
 }
@@ -121,6 +136,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:     p.Pkg.Fset.Position(pos),
 		Check:   p.check,
 		Message: fmt.Sprintf(format, args...),
+		Scope:   declNameAt(p.Pkg, pos),
 	})
 }
 
@@ -133,6 +149,9 @@ func AllAnalyzers() []*Analyzer {
 		NoNakedGoroutine,
 		FloatEq,
 		GlobalMutableState,
+		KeyCoverage,
+		Substream,
+		NoAlloc,
 	}
 }
 

@@ -264,9 +264,10 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 // recording) type errors so analyzers can still run on partial info.
 func typeCheck(fset *token.FileSet, pkg *Package, imp types.Importer) error {
 	info := &types.Info{
-		Types: make(map[ast.Expr]types.TypeAndValue),
-		Defs:  make(map[*ast.Ident]types.Object),
-		Uses:  make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{
 		Importer: imp,

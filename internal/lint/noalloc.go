@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc rejects allocating constructs in functions annotated
+// //manet:noalloc and in every same-package function they call statically
+// (the transitive closure a conformance test can actually pin). Flagged
+// constructs:
+//
+//   - make, new, map/slice composite literals, &T{...}
+//   - function literals (closure allocation) and method values
+//   - append to a local declared without backing storage (var x []T)
+//   - interface boxing of non-pointer-shaped values at call arguments or
+//     explicit conversions, and variadic calls (the argument slice)
+//   - string concatenation, string<->[]byte/[]rune conversions, fmt calls
+//
+// Arguments of panic(...) are exempt: the panic path may allocate freely.
+// Interface dispatch and cross-package calls are not followed — annotate
+// the concrete implementations (as the topology kernels do) and rely on
+// the generated AllocsPerRun tests for what static analysis cannot see.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "//manet:noalloc functions (and their static same-package callees) must not contain allocating constructs",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) {
+	if p.Pkg.Types == nil || p.Pkg.Info == nil {
+		return
+	}
+	callees := packageFuncDecls(p.Pkg)
+
+	// Collect annotation roots, then the static same-package closure.
+	var queue []*ast.FuncDecl
+	walkFiles(p, func(f *ast.File) {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, noalloc := funcDirectives(fn, nil); noalloc {
+				queue = append(queue, fn)
+			}
+		}
+	})
+	checked := make(map[*ast.FuncDecl]bool)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if fn == nil || fn.Body == nil || checked[fn] {
+			continue
+		}
+		checked[fn] = true
+		queue = append(queue, checkNoAllocBody(p, fn, callees)...)
+	}
+}
+
+// checkNoAllocBody flags allocating constructs in one function body and
+// returns the same-package functions it calls statically.
+func checkNoAllocBody(p *Pass, fn *ast.FuncDecl, callees map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
+	info := p.Pkg.Info
+
+	// Pre-passes: panic(...) argument ranges are exempt; unbacked local
+	// slice vars make their appends allocation-suspect; CallExpr.Fun
+	// positions must not be double-reported as method values.
+	type span struct{ lo, hi token.Pos }
+	var exempt []span
+	unbacked := make(map[types.Object]bool)
+	callFun := make(map[ast.Expr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callFun[unparen(n.Fun)] = true
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "panic" {
+					exempt = append(exempt, span{lo: n.Lparen, hi: n.Rparen})
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 {
+				for _, name := range n.Names {
+					if obj := info.Defs[name]; obj != nil {
+						if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+							unbacked[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	inExempt := func(pos token.Pos) bool {
+		for _, s := range exempt {
+			if pos > s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	var next []*ast.FuncDecl
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if inExempt(n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "%s: function literal allocates a closure", funcDisplayName(fn))
+			return false
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(n.Pos(), "%s: slice literal allocates", funcDisplayName(fn))
+			case *types.Map:
+				p.Reportf(n.Pos(), "%s: map literal allocates", funcDisplayName(fn))
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "%s: &composite literal allocates", funcDisplayName(fn))
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil {
+					if basic, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && basic.Info()&types.IsString != 0 {
+						p.Reportf(n.Pos(), "%s: string concatenation allocates", funcDisplayName(fn))
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if !callFun[n] {
+				if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					p.Reportf(n.Pos(), "%s: method value allocates a bound-method closure", funcDisplayName(fn))
+				}
+			}
+		case *ast.CallExpr:
+			next = append(next, checkNoAllocCall(p, fn, n, callees, unbacked)...)
+		}
+		return true
+	})
+	return next
+}
+
+// checkNoAllocCall handles the call-shaped allocation rules for one call
+// expression and returns any same-package static callee to pull into the
+// closure.
+func checkNoAllocCall(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr, callees map[*types.Func]*ast.FuncDecl, unbacked map[types.Object]bool) []*ast.FuncDecl {
+	info := p.Pkg.Info
+	name := funcDisplayName(fn)
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		target := tv.Type
+		if len(call.Args) == 1 {
+			src := info.Types[call.Args[0]].Type
+			switch {
+			case types.IsInterface(target.Underlying()) && src != nil && !types.IsInterface(src.Underlying()) && !pointerShaped(src):
+				p.Reportf(call.Pos(), "%s: conversion to interface boxes the value", name)
+			case stringSliceConversion(target, src):
+				p.Reportf(call.Pos(), "%s: string/slice conversion allocates", name)
+			}
+		}
+		return nil
+	}
+
+	// Builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := info.Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "make", "new":
+				p.Reportf(call.Pos(), "%s: %s allocates", name, b.Name())
+			case "append":
+				if len(call.Args) > 0 {
+					if target, ok := unparen(call.Args[0]).(*ast.Ident); ok {
+						if obj := info.Uses[target]; obj != nil && unbacked[obj] {
+							p.Reportf(call.Pos(), "%s: append to %s, declared without backing storage, allocates on first growth", name, target.Name)
+						}
+					}
+				}
+			}
+			return nil
+		}
+	}
+
+	// fmt calls allocate (interface packing + formatting buffers).
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := unparen(sel.X).(*ast.Ident); ok {
+			if pkg, isPkg := info.Uses[id].(*types.PkgName); isPkg && pkg.Imported().Path() == "fmt" {
+				p.Reportf(call.Pos(), "%s: fmt.%s allocates", name, sel.Sel.Name)
+				return nil
+			}
+		}
+	}
+
+	// Interface boxing at arguments and the variadic argument slice.
+	if sig, ok := info.Types[call.Fun].Type.(*types.Signature); ok {
+		np := sig.Params().Len()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= np-1:
+				if call.Ellipsis.IsValid() {
+					pt = sig.Params().At(np - 1).Type()
+				} else {
+					pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+				}
+			case i < np:
+				pt = sig.Params().At(i).Type()
+			}
+			if pt == nil || !types.IsInterface(pt.Underlying()) {
+				continue
+			}
+			at := info.Types[arg]
+			if at.Type == nil || at.IsNil() || types.IsInterface(at.Type.Underlying()) || pointerShaped(at.Type) {
+				continue
+			}
+			p.Reportf(arg.Pos(), "%s: passing %s where %s is expected boxes the value", name, at.Type.String(), pt.String())
+		}
+		if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= np {
+			p.Reportf(call.Pos(), "%s: variadic call allocates its argument slice", name)
+		}
+	}
+
+	if callee := staticCallee(info, call); callee != nil {
+		if decl, ok := callees[callee]; ok {
+			return []*ast.FuncDecl{decl}
+		}
+	}
+	return nil
+}
+
+// pointerShaped reports whether values of t fit an interface word without
+// allocation: pointers, channels, maps, funcs and unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// stringSliceConversion reports whether a conversion between dst and src is
+// one of the allocating string<->[]byte/[]rune shapes.
+func stringSliceConversion(dst, src types.Type) bool {
+	if src == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteRuneSlice(src)) || (isByteRuneSlice(dst) && isStr(src))
+}

@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Substream enforces the xrand substream-labeling discipline that keeps
+// replay deterministic:
+//
+//   - Rule A (label collisions): two Sub(...) derivation sites on the same
+//     source whose label signatures can coincide — same arity, and every
+//     position where both labels are compile-time constants is equal — may
+//     hand two consumers the same stream. Distinct constant labels in any
+//     position, or distinct arities, make collision impossible.
+//   - Rule B (aliasing): one *xrand.Source value stored into more than one
+//     field/element, composite literal, closure, or goroutine gives two
+//     owners interleaved draws on one stream; each owner must derive its
+//     own substream instead.
+//   - Rule C (parent draws): drawing raw values (Uint64, Float64, ...)
+//     from a source that also derives substreams makes the parent's stream
+//     position part of the hidden state; parents should only derive.
+//
+// Sources are grouped by the variable or field object they are drawn from
+// (scoped by go/types object identity), or by expression text for chained
+// constructors like xrand.New(seed) — which is deliberately coarse: two
+// call sites spelling xrand.New(o.Seed).Sub('m', ...) the same way ARE the
+// same stream by xrand's purity guarantee, wherever they appear.
+var Substream = &Analyzer{
+	Name: "substream",
+	Doc:  "xrand sources must derive substreams with collision-free labels and never be aliased or drawn from while acting as a parent",
+	Run:  runSubstream,
+}
+
+// subSite is one Sub(...) derivation call site.
+type subSite struct {
+	pos    token.Pos
+	render string   // "Sub('m', uint64(rep))" for the message
+	arity  int      // -1 for Sub(labels...) spreads, which are skipped
+	consts []string // exact constant per position, "" = not constant
+}
+
+// drawSite is one raw draw (Uint64, Float64, ...) call site.
+type drawSite struct {
+	pos    token.Pos
+	method string
+}
+
+// sourceGroup accumulates the derivations and draws seen on one source.
+type sourceGroup struct {
+	subs  []subSite
+	draws []drawSite
+}
+
+// drawMethods are the Source methods that advance the stream.
+var drawMethods = map[string]bool{
+	"Uint32": true, "Uint64": true, "Float64": true, "Intn": true,
+	"Uniform": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true,
+}
+
+func runSubstream(p *Pass) {
+	if p.Pkg.Types == nil || p.Pkg.Info == nil {
+		return
+	}
+	info := p.Pkg.Info
+	groups := make(map[any]*sourceGroup)
+
+	walkFiles(p, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := info.Selections[fun]
+			if !ok || sel.Kind() != types.MethodVal || !isXrandSource(sel.Recv()) {
+				return true
+			}
+			name := fun.Sel.Name
+			isSub := name == "Sub"
+			if !isSub && !drawMethods[name] {
+				return true
+			}
+			key := sourceKey(info, fun.X)
+			g := groups[key]
+			if g == nil {
+				g = &sourceGroup{}
+				groups[key] = g
+			}
+			if !isSub {
+				g.draws = append(g.draws, drawSite{pos: call.Pos(), method: name})
+				return true
+			}
+			site := subSite{pos: call.Pos(), arity: len(call.Args)}
+			if call.Ellipsis.IsValid() {
+				site.arity = -1 // spread: labels unknown, skip collision analysis
+			}
+			var parts []string
+			for _, arg := range call.Args {
+				cv := ""
+				if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+					cv = tv.Value.ExactString()
+				}
+				site.consts = append(site.consts, cv)
+				parts = append(parts, types.ExprString(arg))
+			}
+			site.render = "Sub(" + strings.Join(parts, ", ") + ")"
+			g.subs = append(g.subs, site)
+			return true
+		})
+	})
+
+	// Rules A and C over the accumulated groups.
+	//lint:order-independent findings are position-sorted by Run before printing
+	for _, g := range groups {
+		// Rule A: pairwise-unifiable label signatures.
+		colliding := make([]int, len(g.subs))
+		for i := range g.subs {
+			for j := i + 1; j < len(g.subs); j++ {
+				if sigsCollide(g.subs[i], g.subs[j]) {
+					colliding[i]++
+					colliding[j]++
+				}
+			}
+		}
+		for i, s := range g.subs {
+			if colliding[i] > 0 {
+				p.Reportf(s.pos, "%s: labels may collide with %d other derivation site(s) on this source; make a constant label position differ",
+					s.render, colliding[i])
+			}
+		}
+		// Rule C: raw draws on a deriving parent.
+		if len(g.subs) > 0 {
+			for _, d := range g.draws {
+				p.Reportf(d.pos, "raw %s draw on a source that also derives substreams; draw from a dedicated Sub(...) instead",
+					d.method)
+			}
+		}
+	}
+
+	runSourceAliasing(p)
+}
+
+// sigsCollide reports whether two Sub label signatures can denote the same
+// substream: equal arity, and every position where both labels are
+// constants holds the same constant (a non-constant label unifies with
+// anything).
+func sigsCollide(a, b subSite) bool {
+	if a.arity < 0 || b.arity < 0 || a.arity != b.arity {
+		return false
+	}
+	for i := range a.consts {
+		if a.consts[i] != "" && b.consts[i] != "" && a.consts[i] != b.consts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sourceKey identifies which stream a receiver expression denotes: the
+// go/types object for variables and fields, expression text otherwise.
+func sourceKey(info *types.Info, recv ast.Expr) any {
+	switch e := unparen(recv).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		if obj := info.Defs[e]; obj != nil {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[e.Sel]; obj != nil {
+			return obj
+		}
+	}
+	return "expr:" + types.ExprString(recv)
+}
+
+// isXrandSource reports whether t is xrand.Source (possibly behind a
+// pointer), matching by package-path suffix so test fixtures can supply a
+// stand-in package.
+func isXrandSource(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Source" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "xrand" || strings.HasSuffix(path, "/xrand")
+}
+
+// runSourceAliasing implements Rule B: one source variable stored into more
+// than one long-lived sink.
+func runSourceAliasing(p *Pass) {
+	info := p.Pkg.Info
+	type sink struct {
+		pos  token.Pos
+		kind string
+	}
+	sinks := make(map[types.Object][]sink)
+	addSink := func(e ast.Expr, kind string) {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return
+		}
+		if v, isVar := obj.(*types.Var); !isVar || v.IsField() || !isXrandSource(obj.Type()) {
+			return
+		}
+		sinks[obj] = append(sinks[obj], sink{pos: id.Pos(), kind: kind})
+	}
+
+	walkFiles(p, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					switch unparen(n.Lhs[i]).(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr:
+						addSink(rhs, "stored")
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						elt = kv.Value
+					}
+					addSink(elt, "stored in a composite literal")
+				}
+			case *ast.GoStmt:
+				for _, arg := range n.Call.Args {
+					addSink(arg, "passed to a goroutine")
+				}
+			case *ast.FuncLit:
+				// One sink per distinct captured source variable.
+				captured := make(map[types.Object]token.Pos)
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					id, ok := m.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := info.Uses[id]
+					if obj == nil || obj.Pos() >= n.Pos() && obj.Pos() <= n.End() {
+						return true
+					}
+					if v, isVar := obj.(*types.Var); !isVar || v.IsField() || !isXrandSource(obj.Type()) {
+						return true
+					}
+					if _, seen := captured[obj]; !seen {
+						captured[obj] = id.Pos()
+					}
+					return true
+				})
+				//lint:order-independent findings are position-sorted by Run before printing
+				for obj, pos := range captured {
+					sinks[obj] = append(sinks[obj], sink{pos: pos, kind: "captured by a closure"})
+				}
+			}
+			return true
+		})
+	})
+
+	//lint:order-independent findings are position-sorted by Run before printing
+	for obj, ss := range sinks {
+		if len(ss) < 2 {
+			continue
+		}
+		sort.Slice(ss, func(i, j int) bool { return ss[i].pos < ss[j].pos })
+		first := p.Pkg.Fset.Position(ss[0].pos)
+		for _, s := range ss[1:] {
+			p.Reportf(s.pos, "source %s is %s but was already stored at %s:%d; derive a fresh Sub(...) per owner instead of aliasing one stream",
+				obj.Name(), s.kind, first.Filename, first.Line)
+		}
+	}
+}

@@ -25,6 +25,7 @@ type helloDelivery struct {
 // advertisement unless it is down at delivery time. The hello table keeps
 // the k highest versions per sender, so out-of-order arrivals — a short
 // delay overtaking a long one — resolve correctly without reordering here.
+//manet:noalloc
 func (d *helloDelivery) Act(now sim.Time) {
 	nw, msg, rid := d.nw, d.msg, d.rid
 	nw.releaseHelloDelivery(d)
@@ -36,6 +37,7 @@ func (d *helloDelivery) Act(now sim.Time) {
 // scheduleHellos defers msg's delivery to every receiver by an independent
 // channel delay. Receivers arrive in ascending id, so the delay stream is
 // consumed in a deterministic order.
+//manet:noalloc
 func (nw *Network) scheduleHellos(msg hello.Message, receivers []int) {
 	for _, rid := range receivers {
 		d := nw.newHelloDelivery()
@@ -51,6 +53,7 @@ func (nw *Network) newHelloDelivery() *helloDelivery {
 		d.next = nil
 		return d
 	}
+	//lint:ignore noalloc pool growth: allocates only until the freelist covers the in-flight maximum, then steady state is allocation-free
 	return &helloDelivery{nw: nw}
 }
 

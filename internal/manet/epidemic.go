@@ -90,6 +90,7 @@ func (nw *Network) RunEpidemic(duration float64, ec EpidemicConfig) (EpidemicRes
 	if !nw.cfg.Mech.Reactive {
 		for _, nd := range nw.nodes {
 			nd := nd
+			//lint:ignore substream deliberate: shares the 'f' hello-offset labels with Run — the entry points are mutually exclusive on one Network
 			first := nw.rng.Sub('f', uint64(nd.id)).Uniform(0, nd.interval)
 			nw.eng.Every(first, nd.interval, func(now sim.Time) {
 				nw.sendHello(nd, now)

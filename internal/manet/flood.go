@@ -27,6 +27,7 @@ type flood struct {
 // originateFlood starts one weak-connectivity probe from a uniformly random
 // source (§5.1: broadcasts from random sources, 10 per second).
 func (nw *Network) originateFlood(now sim.Time) {
+	//lint:ignore substream historical draw order: source picks ride the root network stream; rerouting them through a Sub would change every golden digest
 	src := nw.rng.Intn(len(nw.nodes))
 	fl := &flood{src: src, accepted: make([]bool, len(nw.nodes))}
 	if nw.cfg.Mech.Proactive {
@@ -83,6 +84,7 @@ func (nw *Network) transmit(fl *flood, sender int, now sim.Time) {
 		// captured by the delayed delivery closures below, so it cannot be
 		// scratch-backed.
 		nw.msgBuf = nd.table.LatestInto(nw.msgBuf[:0], now)
+		//lint:ignore noalloc the header map escapes into the delayed deliveries by design (see comment above); self-pruning runs accept this per-transmit cost
 		senderCover = make(map[int]bool, len(nw.msgBuf)+1)
 		senderCover[sender] = true
 		for _, m := range nw.msgBuf {
@@ -96,6 +98,7 @@ func (nw *Network) transmit(fl *flood, sender int, now sim.Time) {
 		if !nw.cfg.Mech.PhysicalNeighbors && !nd.isLogical[rid] {
 			continue // dropped at the topology layer
 		}
+		//lint:ignore substream historical draw order: forward jitter rides the root network stream; moving it to a Sub would change every golden digest
 		delay := airtime + nw.med.Delay() + nw.rng.Uniform(0, nw.cfg.ForwardJitterMax)
 		if nw.ch.DelayEnabled() {
 			// Non-ideal channel: this reception is additionally deferred by
@@ -125,6 +128,7 @@ type delivery struct {
 // Act resolves the delivery. Acceptance resolves here, at delivery time:
 // the node may have accepted a concurrent copy meanwhile, and under the
 // collision MAC this copy may have been jammed.
+//manet:noalloc
 func (d *delivery) Act(later sim.Time) {
 	nw, fl, rid := d.nw, d.fl, d.rid
 	tx, cover, airtime := d.tx, d.cover, d.airtime
@@ -155,6 +159,7 @@ func (nw *Network) newDelivery() *delivery {
 		d.next = nil
 		return d
 	}
+	//lint:ignore noalloc pool growth: allocates only until the freelist covers the in-flight maximum, then steady state is allocation-free
 	return &delivery{nw: nw}
 }
 

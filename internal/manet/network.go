@@ -230,6 +230,7 @@ func (nw *Network) Run(duration float64) Result {
 			nd := nd
 			// First Hello at a uniform offset within one interval keeps
 			// beacons asynchronous.
+			//lint:ignore substream deliberate: Run/RunUnicast/RunEpidemic are mutually exclusive entry points sharing the 'f' hello-offset labels so hello timing is identical across traffic modes
 			first := nw.rng.Sub('f', uint64(nd.id)).Uniform(0, nd.interval)
 			nw.eng.Every(first, nd.interval, func(now sim.Time) {
 				nw.sendHello(nd, now)
@@ -583,6 +584,7 @@ func (nw *Network) selectWeak(nd *node, now sim.Time) {
 	// Pre-grow the flat position buffer so per-neighbor subslices stay
 	// valid while later neighbors append to it.
 	if need := len(nw.msgBuf) * nd.table.K(); cap(nw.posBuf) < need {
+		//lint:ignore noalloc amortized growth: the buffer is retained across calls; TestSteadyStateAllocs pins the steady state at zero
 		nw.posBuf = make([]geom.Point, 0, 2*need)
 	}
 	nw.posBuf = nw.posBuf[:0]

@@ -1,0 +1,88 @@
+package manet
+
+import (
+	"reflect"
+	"testing"
+
+	"mstc/internal/channel"
+	"mstc/internal/lint"
+	"mstc/internal/sim"
+	"mstc/internal/topology"
+)
+
+// TestNoallocAnnotationsConform pins this package's //manet:noalloc
+// annotations — the pooled delivery actors and the hello scheduling path —
+// with testing.AllocsPerRun over windows of engine time. The annotated
+// methods cannot run in isolation (they are event callbacks), so the
+// measured unit is the whole steady-state event loop that exercises them:
+// delayed hello deliveries (helloDelivery.Act via scheduleHellos) and a
+// recycled flood probe (delivery.Act via transmit). After a warm-up that
+// grows every pool and scratch buffer, advancing simulated time must
+// allocate nothing.
+func TestNoallocAnnotationsConform(t *testing.T) {
+	annotated, err := lint.NoallocFuncs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Network.scheduleHellos", "delivery.Act", "helloDelivery.Act"}
+	if !reflect.DeepEqual(annotated, want) {
+		t.Fatalf("//manet:noalloc set changed: got %v, want %v — update this conformance test with the new path", annotated, want)
+	}
+
+	const n = 48
+	model := connectedStatic(t, 100, n, 1e9)
+	cfg := Config{Protocol: topology.RNG{}, Seed: 7}
+	// A bounded channel delay routes every hello through scheduleHellos and
+	// the pooled helloDelivery actors (the TxDuration==0 direct path would
+	// bypass them).
+	cfg.Channel.Delay = channel.DelayConfig{Max: 0.02}
+	nw, err := NewNetwork(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mirror Run's non-reactive scheduling: per-node hello beacons...
+	for _, nd := range nw.nodes {
+		nd := nd
+		first := nw.rng.Sub('f', uint64(nd.id)).Uniform(0, nd.interval)
+		nw.eng.Every(first, nd.interval, func(now sim.Time) {
+			nw.sendHello(nd, now)
+		})
+	}
+	// ...plus a flood driver that recycles one probe, so the only per-flood
+	// cost left is the pooled delivery path under test.
+	fl := &flood{accepted: make([]bool, n)}
+	src := 0
+	nw.eng.Every(0.5, 0.2, func(now sim.Time) {
+		for i := range fl.accepted {
+			fl.accepted[i] = false
+		}
+		fl.src = src % n
+		src++
+		fl.accepted[fl.src] = true
+		fl.count = 1
+		nw.transmit(fl, fl.src, now)
+	})
+
+	// Warm up: grow delivery pools, hello tables, scratch buffers and the
+	// event heap to their steady-state footprint.
+	deadline := sim.Time(8)
+	nw.eng.Run(deadline)
+
+	if nw.helloTx == 0 || nw.freeDel == nil || nw.freeHello == nil {
+		t.Fatalf("warm-up did not exercise the annotated paths: helloTx=%d freeDel=%v freeHello=%v",
+			nw.helloTx, nw.freeDel != nil, nw.freeHello != nil)
+	}
+
+	events := 0
+	step := func() {
+		deadline += 0.25
+		events += nw.eng.Run(deadline)
+	}
+	if allocs := testing.AllocsPerRun(80, step); allocs != 0 {
+		t.Errorf("steady-state event loop: %.2f allocs per %.2fs window, want 0", allocs, 0.25)
+	}
+	if events == 0 {
+		t.Fatal("measured windows executed no events; the conformance run is vacuous")
+	}
+}

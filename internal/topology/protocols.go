@@ -36,6 +36,7 @@ func (r RNG) Select(v View) []int {
 }
 
 // SelectInto implements ScratchSelector.
+//manet:noalloc
 func (RNG) SelectInto(v View, dst []int, s *Scratch) []int {
 	u := v.Self
 	// Cache cost(u, w) per witness: the naive double loop recomputes each
@@ -85,6 +86,7 @@ func (g Gabriel) Select(v View) []int {
 }
 
 // SelectInto implements ScratchSelector.
+//manet:noalloc
 func (Gabriel) SelectInto(v View, dst []int, _ *Scratch) []int {
 	for _, n := range v.Neighbors {
 		removed := false
@@ -130,6 +132,7 @@ func (m MST) Select(v View) []int {
 // the tree edges the historical viewGraph + graph.PrimMST implementation
 // commits — including which of several equal-weight candidates wins.
 // TestMSTKernelMatchesPrim pins the equivalence on tie-heavy inputs.
+//manet:noalloc
 func (m MST) SelectInto(v View, dst []int, s *Scratch) []int {
 	selfIdx := s.viewNodes(v)
 	n := len(s.ids)
@@ -248,6 +251,7 @@ func (s SPT) Select(v View) []int {
 // (including the equal-distance predecessor tie-break) verbatim: the pop
 // order under the (key, node) total order and therefore every computed
 // distance is identical, and TestSPTKernelMatchesDijkstra pins it.
+//manet:noalloc
 func (sp SPT) SelectInto(v View, dst []int, s *Scratch) []int {
 	if sp.Alpha < 1 {
 		panic(fmt.Sprintf("topology: EnergyCost alpha %g < 1", sp.Alpha))
@@ -339,6 +343,7 @@ func (y Yao) Select(v View) []int {
 }
 
 // SelectInto implements ScratchSelector.
+//manet:noalloc
 func (y Yao) SelectInto(v View, dst []int, s *Scratch) []int {
 	if y.K <= 0 {
 		panic(fmt.Sprintf("topology: Yao with K = %d", y.K))
@@ -384,6 +389,7 @@ func (n None) Select(v View) []int {
 }
 
 // SelectInto implements ScratchSelector.
+//manet:noalloc
 func (None) SelectInto(v View, dst []int, _ *Scratch) []int {
 	for _, n := range v.Neighbors {
 		dst = append(dst, n.ID)

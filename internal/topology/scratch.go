@@ -49,6 +49,7 @@ type WeakScratchSelector interface {
 // allocation-free kernel when it has one and through plain Select
 // otherwise. Results are identical either way; only allocation behavior
 // differs.
+//manet:noalloc
 func SelectInto(p Protocol, v View, dst []int, s *Scratch) []int {
 	if ip, ok := p.(ScratchSelector); ok {
 		return ip.SelectInto(v, dst, s)
@@ -57,6 +58,7 @@ func SelectInto(p Protocol, v View, dst []int, s *Scratch) []int {
 }
 
 // SelectWeakInto is SelectInto for weak-consistency selectors.
+//manet:noalloc
 func SelectWeakInto(p WeakProtocol, v MultiView, dst []int, s *Scratch) []int {
 	if ip, ok := p.(WeakScratchSelector); ok {
 		return ip.SelectWeakInto(v, dst, s)
@@ -67,6 +69,7 @@ func SelectWeakInto(p WeakProtocol, v MultiView, dst []int, s *Scratch) []int {
 // grown returns buf resized to n, growing the backing array if needed.
 func grown[T any](buf []T, n int) []T {
 	if cap(buf) < n {
+		//lint:ignore noalloc amortized growth: Scratch buffers are retained across calls, so long-lived callers reach an allocation-free steady state (pinned by the conformance tests)
 		return make([]T, n, n+n/2+8)
 	}
 	return buf[:n]

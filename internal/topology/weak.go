@@ -35,6 +35,7 @@ func (w WeakRNG) SelectWeak(v MultiView) []int {
 }
 
 // SelectWeakInto implements WeakScratchSelector.
+//manet:noalloc
 func (WeakRNG) SelectWeakInto(v MultiView, dst []int, _ *Scratch) []int {
 	start := len(dst)
 	for _, n := range v.Neighbors {
@@ -78,6 +79,7 @@ func (m WeakMST) SelectWeak(v MultiView) []int {
 }
 
 // SelectWeakInto implements WeakScratchSelector.
+//manet:noalloc
 func (m WeakMST) SelectWeakInto(v MultiView, dst []int, s *Scratch) []int {
 	selfIdx := s.multiViewNodes(v)
 	s.fillWeakMatrix(m.Range, DistanceCost)
@@ -121,10 +123,12 @@ func (s WeakSPT) SelectWeak(v MultiView) []int {
 }
 
 // SelectWeakInto implements WeakScratchSelector.
+//manet:noalloc
 func (sp WeakSPT) SelectWeakInto(v MultiView, dst []int, s *Scratch) []int {
 	if sp.Alpha < 1 {
 		panic(fmt.Sprintf("topology: EnergyCost alpha %g < 1", sp.Alpha))
 	}
+	//lint:ignore noalloc the closure captures only sp (by value) and does not escape fillWeakMatrix, so it stays on the stack; the conformance test pins zero allocs
 	cost := func(d float64) float64 { return math.Pow(d, sp.Alpha) + sp.Fixed }
 	selfIdx := s.multiViewNodes(v)
 	s.fillWeakMatrix(sp.Range, cost)

@@ -10,6 +10,22 @@
 // The package deliberately mirrors a subset of math/rand's API so call sites
 // stay idiomatic, but it never touches global state and is safe to seed
 // deterministically in tests.
+//
+// # Labeling discipline
+//
+// The substream tree only stays collision-free if call sites follow three
+// rules, which manetlint's substream analyzer enforces:
+//
+//   - Distinct derivation sites on one source must differ in a constant
+//     label position (or in arity): Sub('m', x) and Sub('n', y) can never
+//     collide, while two Sub('f', id) sites hand out the same stream
+//     whenever the ids coincide.
+//   - A source value belongs to one owner. Storing the same *Source into
+//     two fields, closures, or goroutines interleaves their draws on one
+//     stream; derive a fresh Sub per owner instead.
+//   - A source that derives substreams is a parent: drawing raw values
+//     from it too makes the parent's stream position hidden state that
+//     shifts every later draw. Parents only derive; leaves only draw.
 package xrand
 
 import "math"
