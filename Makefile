@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-json check bench bench-compare faults-smoke resume-smoke
+.PHONY: build test race vet lint lint-json check bench bench-compare faults-smoke resume-smoke parallel-smoke
 
 build:
 	$(GO) build ./...
@@ -70,10 +70,20 @@ resume-smoke:
 	$(SMOKE)/paperfig $(PFLAGS) -store $(SMOKE)/merged -resume > $(SMOKE)/merged.txt
 	cmp $(SMOKE)/direct.txt $(SMOKE)/merged.txt
 
+# Region-parallel engine smoke: the same quick figure sweep on the serial
+# engine and on the domain-decomposed engine (2x2 domains, 4 workers) must
+# render byte-identical output. The in-process digest matrix (manet's
+# TestParallelMatchesSerialMatrix, run by `make test`/`race`) is the deep
+# check; this one proves the end-to-end CLI plumbing.
+parallel-smoke:
+	$(GO) run ./cmd/paperfig $(PFLAGS) > /tmp/par_serial.txt
+	$(GO) run ./cmd/paperfig $(PFLAGS) -domains 2 -engine-workers 4 > /tmp/par_domains.txt
+	cmp /tmp/par_serial.txt /tmp/par_domains.txt
+
 # Gate the hot path against the committed baseline trajectory: three
 # repetitions of BenchmarkSingleRun, compared by minimum ns/op; fails on a
 # >30 % regression. Override the reference with BASELINE=BENCH_1.json etc.
-BASELINE ?= BENCH_3.json
+BASELINE ?= BENCH_6.json
 bench-compare:
 	$(GO) test -run '^$$' -bench '^BenchmarkSingleRun$$' -count 3 . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchreport -baseline $(BASELINE) -gate BenchmarkSingleRun -o /dev/null

@@ -180,6 +180,69 @@ func BenchmarkSingleRun(b *testing.B) {
 	b.ReportMetric(res.Connectivity, "conn/ratio")
 }
 
+// BenchmarkSingleRunParallel is BenchmarkSingleRun on the region-parallel
+// engine (2x2 domains) across worker counts. Results are bit-identical to
+// the serial engine; the sub-benchmarks expose the window/barrier overhead
+// at 1 worker and the scaling headroom beyond it (only realizable with
+// more than one CPU — see README's benchmark trajectory notes).
+func BenchmarkSingleRunParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var res manet.Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, 40, manet.Config{
+					Protocol: topology.RNG{}, FloodRate: 10, Seed: uint64(i),
+					Domains: 2, ParallelWorkers: workers,
+				})
+			}
+			b.ReportMetric(res.Connectivity, "conn/ratio")
+		})
+	}
+}
+
+// BenchmarkResolveAll measures the batched position resolution sweep that
+// feeds every synchronization window: one flat pass over all nodes versus
+// the equivalent scattered per-node queries.
+func BenchmarkResolveAll(b *testing.B) {
+	lo, hi := mobility.SpeedSetdest(40)
+	model, err := mobility.NewRandomWaypoint(geom.Square(900), mobility.WaypointConfig{
+		N: 100, SpeedMin: lo, SpeedMax: hi, Horizon: 100,
+	}, xrand.New(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		cur := mobility.NewCursor(model)
+		dst := make([]geom.Point, 0, model.N())
+		t := 0.0
+		for i := 0; i < b.N; i++ {
+			dst = cur.ResolveAllInto(dst[:0], t)
+			t += 0.25
+			if t > 100 {
+				t = 0
+			}
+		}
+	})
+	b.Run("scattered", func(b *testing.B) {
+		b.ReportAllocs()
+		cur := mobility.NewCursor(model)
+		dst := make([]geom.Point, 0, model.N())
+		t := 0.0
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			for id := 0; id < model.N(); id++ {
+				dst = append(dst, cur.PositionAt(id, t))
+			}
+			t += 0.25
+			if t > 100 {
+				t = 0
+			}
+		}
+	})
+}
+
 // BenchmarkSingleRunFaulty is BenchmarkSingleRun over a non-ideal channel
 // (bursty loss + delayed delivery + churn): the cost of the fault-injection
 // path relative to the ideal one, with the same mobility and protocol.

@@ -95,6 +95,8 @@ func main() {
 		txDur        = flag.Float64("txdur", 0, "per-packet airtime (s); > 0 enables the collision MAC")
 		seed         = flag.Uint64("seed", 1, "random seed")
 		snapshotDt   = flag.Float64("snapshots", 0, "strict-connectivity snapshot period (s); 0 = off")
+		domains      = flag.Int("domains", 0, "region-parallel engine: domains x domains spatial grid (0 = serial engine)")
+		workers      = flag.Int("workers", 0, "region-parallel worker goroutines (requires -domains); results are bit-identical to serial")
 		churnUp      = flag.Float64("churn-up", 0, "mean node up-time (s); with -churn-down, enables failure injection")
 		churnDown    = flag.Float64("churn-down", 0, "mean node outage (s)")
 		recordPath   = flag.String("record", "", "record the mobility trace to this file and exit")
@@ -178,9 +180,11 @@ func main() {
 			SelfPruning:       *prune,
 			CDSForward:        *cdsFwd,
 		},
-		SnapshotEvery: *snapshotDt,
-		Churn:         manet.ChurnConfig{MeanUp: *churnUp, MeanDown: *churnDown},
-		PosNoise:      *posNoise,
+		SnapshotEvery:   *snapshotDt,
+		Churn:           manet.ChurnConfig{MeanUp: *churnUp, MeanDown: *churnDown},
+		PosNoise:        *posNoise,
+		Domains:         *domains,
+		ParallelWorkers: *workers,
 	}
 	if *weakK > 0 {
 		w, err := topology.WeakByName(*protocolName, *normalRange)

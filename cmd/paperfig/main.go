@@ -218,6 +218,8 @@ func main() {
 		quick     = flag.Bool("quick", false, "scaled-down options for a fast pass")
 		seed      = flag.Uint64("seed", 2004, "root seed")
 		workers   = flag.Int("workers", 0, "parallel runs (default GOMAXPROCS)")
+		domains   = flag.Int("domains", 0, "per-run region-parallel engine: domains x domains spatial grid (0 = serial)")
+		engWork   = flag.Int("engine-workers", 0, "per-run worker goroutines for -domains (results are bit-identical to serial)")
 		datDir    = flag.String("dat", "", "also write gnuplot-ready .dat/.txt files into this directory")
 		timing    = flag.Bool("timing", false, "report wall-clock duration per experiment on stderr")
 		storeDir  = flag.String("store", "", "journal completed runs into this result store directory (see sweepctl)")
@@ -280,6 +282,8 @@ func main() {
 	}
 	o.Seed = *seed
 	o.Workers = *workers
+	o.Domains = *domains
+	o.EngineWorkers = *engWork
 	o.Retry = *retries
 
 	shard, err := sweep.ParseShard(*shardSpec)

@@ -154,3 +154,44 @@ func TestDigestUnchangedBySelectionCache(t *testing.T) {
 		t.Errorf("cached digest = %s, want %s (cache disabled): the selection cache changed results", got, want)
 	}
 }
+
+// TestDigestUnchangedByEngineParallelism is the whole-experiment pin of
+// the region-parallel engine's transparency contract (the unit-level proof
+// is manet's TestParallelMatchesSerialMatrix): sha256 over every result
+// field must be identical between the serial engine and the domain-
+// decomposed engine at several worker counts — including configurations
+// that fall back to serial. This is what licenses the //manet:hash-exclude
+// lines for Options.Domains and Options.EngineWorkers: records computed by
+// either engine are interchangeable in the sweep store.
+func TestDigestUnchangedByEngineParallelism(t *testing.T) {
+	o := tinyOptions()
+	o.N = 40
+	o.Duration = 8
+	var tasks []Run
+	for _, speed := range []float64{1, 160} {
+		tasks = append(tasks, Run{Protocol: "RNG", Speed: speed})
+		tasks = append(tasks, Run{Protocol: "MST", Speed: speed, Mech: manet.Mechanisms{Buffer: 10, ViewSync: true}})
+		tasks = append(tasks, Run{Protocol: "MST", Speed: speed, Mech: manet.Mechanisms{Proactive: true}})
+		// Reactive is not parallel-eligible: exercises the serial fallback.
+		tasks = append(tasks, Run{Protocol: "MST", Speed: speed, Mech: manet.Mechanisms{Reactive: true}})
+	}
+
+	digest := func(domains, engineWorkers int) string {
+		o := o
+		o.Domains = domains
+		o.EngineWorkers = engineWorkers
+		results, err := Execute(o, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resultsDigest(results)
+	}
+
+	want := digest(0, 0)
+	for _, pw := range []struct{ domains, workers int }{{1, 1}, {2, 2}, {3, 4}} {
+		if got := digest(pw.domains, pw.workers); got != want {
+			t.Errorf("domains=%d workers=%d digest = %s, want serial %s: engine parallelism changed results",
+				pw.domains, pw.workers, got, want)
+		}
+	}
+}

@@ -69,6 +69,16 @@ type Options struct {
 	// Results are identical with or without it (the determinism tests pin
 	// that); the knob only trades CPU for a differential check.
 	NoSelectionCache bool
+	// Domains, when >= 1, runs every simulation on the region-parallel
+	// engine with a Domains×Domains spatial decomposition. Results are
+	// bit-identical to the serial engine (manet's differential matrix and
+	// TestDigestUnchangedByEngineParallelism pin that); configurations the
+	// parallel engine cannot honor fall back to serial automatically.
+	Domains int
+	// EngineWorkers is the per-run worker-goroutine count draining the
+	// domains (distinct from Workers, which bounds run-level concurrency).
+	// Requires Domains >= 1.
+	EngineWorkers int
 
 	// Store, when non-nil, persists every completed run (keyed by the
 	// options fingerprint and the run's substream key) and satisfies
@@ -306,6 +316,8 @@ func executeOne(o Options, r Run) (manet.Result, error) {
 		Channel:          ch,
 		SnapshotEvery:    o.SnapshotEvery,
 		NoSelectionCache: o.NoSelectionCache,
+		Domains:          o.Domains,
+		ParallelWorkers:  o.EngineWorkers,
 		Seed:             xrand.New(o.Seed).Sub('n', r.key(), uint64(r.Rep)).Uint64(),
 	}
 	if r.Mech.WeakK > 0 {

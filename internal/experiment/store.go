@@ -40,6 +40,8 @@ import (
 //manet:hash-exclude Buffers task-set shape; per-run results depend only on Run fields
 //manet:hash-exclude Reps task-set shape; per-run results depend only on Run fields
 //manet:hash-exclude NoSelectionCache result-identical by construction, pinned by TestDigestUnchangedBySelectionCache
+//manet:hash-exclude Domains region-parallel engine is bit-identical to serial, pinned by TestDigestUnchangedByEngineParallelism
+//manet:hash-exclude EngineWorkers worker count never changes results, pinned by TestDigestUnchangedByEngineParallelism
 //manet:hash-exclude Store storage backend choice cannot change what is computed
 //manet:hash-exclude Shard sharding selects which runs compute, never their values
 //manet:hash-exclude Retry retries replay the same deterministic run

@@ -217,12 +217,12 @@ func TestFingerprintSensitivity(t *testing.T) {
 	fp := base.Fingerprint()
 
 	changing := map[string]func(*Options){
-		"N":           func(o *Options) { o.N = 41 },
-		"ArenaSide":   func(o *Options) { o.ArenaSide = 800 },
-		"NormalRange": func(o *Options) { o.NormalRange = 200 },
-		"Duration":    func(o *Options) { o.Duration = 6 },
-		"FloodRate":   func(o *Options) { o.FloodRate = 5 },
-		"Seed":        func(o *Options) { o.Seed = 2005 },
+		"N":                func(o *Options) { o.N = 41 },
+		"ArenaSide":        func(o *Options) { o.ArenaSide = 800 },
+		"NormalRange":      func(o *Options) { o.NormalRange = 200 },
+		"Duration":         func(o *Options) { o.Duration = 6 },
+		"FloodRate":        func(o *Options) { o.FloodRate = 5 },
+		"Seed":             func(o *Options) { o.Seed = 2005 },
 		"Radio.TxDuration": func(o *Options) { o.Radio.TxDuration = 0.001 },
 		"Channel.Loss":     func(o *Options) { o.Channel.Loss.Rate = 0.1 },
 		"SnapshotEvery":    func(o *Options) { o.SnapshotEvery = 0.5 },
@@ -243,7 +243,12 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"Buffers":          func(o *Options) { o.Buffers = nil },
 		"Radio.Slack":      func(o *Options) { o.Radio.Slack = -1 },
 		"NoSelectionCache": func(o *Options) { o.NoSelectionCache = true },
-		"Retry":            func(o *Options) { o.Retry = 5 },
+		"Domains":          func(o *Options) { o.Domains = 2 },
+		"EngineWorkers": func(o *Options) {
+			o.Domains = 2
+			o.EngineWorkers = 4
+		},
+		"Retry": func(o *Options) { o.Retry = 5 },
 	}
 	//lint:order-independent
 	for name, mutate := range invariant {

@@ -70,8 +70,10 @@ type Config struct {
 	// crypto/rand — the deterministic-PRNG package itself.
 	RandAllowed []string
 	// GoroutineAllowed are the files allowed to contain go statements:
-	// the experiment runner's worker pool, whose fan-out is replay-safe
-	// because results merge by task index.
+	// the experiment runner's worker pool (fan-out is replay-safe because
+	// results merge by task index) and the region-parallel barrier pool
+	// (fan-out is replay-safe because domains only touch state they own,
+	// in the deterministic record order — see internal/manet/parallel.go).
 	GoroutineAllowed []string
 	// GlobalVarAllowed are the files allowed to declare package-level
 	// mutable variables.
@@ -88,7 +90,10 @@ func DefaultConfig() Config {
 	return Config{
 		ScopePrefixes:    []string{"internal/", "cmd/"},
 		RandAllowed:      []string{"internal/xrand"},
-		GoroutineAllowed: []string{"internal/experiment/runner.go"},
+		GoroutineAllowed: []string{
+			"internal/experiment/runner.go",
+			"internal/sim/regions.go",
+		},
 		// The analyzer singletons below follow the go/analysis idiom of
 		// package-level *Analyzer values; they are written once at init
 		// and never mutated.

@@ -132,6 +132,18 @@ type Config struct {
 	// normalized energy units (default 2). Accounting only — it does not
 	// affect protocol behavior.
 	EnergyAlpha float64
+	// Domains selects the region-parallel engine: the arena is decomposed
+	// into Domains×Domains spatial domains whose "Hello" processing runs
+	// between deterministic barriers (see parallel.go). 0 (the default)
+	// keeps the serial engine; 1 exercises the parallel machinery with a
+	// single domain. Results are bit-identical to the serial engine for
+	// every Domains/ParallelWorkers setting — configurations the parallel
+	// path cannot honor fall back to the serial engine automatically.
+	Domains int
+	// ParallelWorkers is the worker-goroutine count draining the domains
+	// (clamped to [1, Domains²]; default 1, which runs the barriers inline
+	// on the caller's goroutine). Requires Domains >= 1.
+	ParallelWorkers int
 	// NoSelectionCache disables the version-keyed selection cache, forcing
 	// every selection to rebuild its view and rerun the protocol. Results
 	// are identical either way — the knob exists so differential tests can
@@ -193,6 +205,12 @@ func (c Config) validate() error {
 		return fmt.Errorf("manet: churn needs both MeanUp and MeanDown positive (or both zero)")
 	case c.PosNoise < 0:
 		return fmt.Errorf("manet: negative PosNoise %g", c.PosNoise)
+	case c.Domains < 0:
+		return fmt.Errorf("manet: negative Domains %d", c.Domains)
+	case c.ParallelWorkers < 0:
+		return fmt.Errorf("manet: negative ParallelWorkers %d", c.ParallelWorkers)
+	case c.ParallelWorkers > 0 && c.Domains == 0:
+		return fmt.Errorf("manet: ParallelWorkers set but Domains is 0 (the serial engine has no workers)")
 	case c.Channel.Churn.Enabled() && c.Churn.Enabled():
 		return fmt.Errorf("manet: churn configured both directly (Config.Churn) and through the channel (Config.Channel.Churn)")
 	case c.Channel.Delay.Enabled() && c.Radio.TxDuration > 0:

@@ -93,6 +93,38 @@ type selCache struct {
 	selPos      []geom.Point // cached positions of the selected neighbors
 }
 
+// positionSource resolves a node's exact position at a simulated instant.
+// The serial engine's selection context reads positions through the radio
+// medium (whose per-instant memo fronts the shared leg cursor); each
+// parallel domain context reads through its own mobility.Cursor. Both
+// resolve from the same immutable trajectory legs, so the answers are
+// bit-identical — the interface only decouples who owns the mutable scan
+// state.
+type positionSource interface {
+	PositionAt(id int, t float64) geom.Point
+}
+
+// selCtx is the logical-neighbor selection machinery plus the scratch it
+// runs on. The serial engine embeds one in the Network (all events share
+// it — the engine is single-goroutine); the region-parallel engine gives
+// every domain its own, so concurrent domain workers never share scratch.
+// Nothing built from these buffers outlives the call that filled it
+// (selectors do not retain view slices, and anything stored — logical
+// sets, caches — is copied out into node-owned storage).
+type selCtx struct {
+	cfg *Config
+	pos positionSource
+
+	msgBuf     []hello.Message     // Table.*Into scratch
+	nbrBuf     []topology.NodeInfo // View.Neighbors scratch
+	multiBuf   []topology.MultiNodeInfo
+	posBuf     []geom.Point // flat backing for MultiNodeInfo.Positions
+	histBuf    []hello.Message
+	selfPosBuf []geom.Point
+	selBuf     []int            // SelectInto output scratch
+	scratch    topology.Scratch // protocol-kernel working storage
+}
+
 // Network is one simulation run. Build with NewNetwork, drive with Run.
 type Network struct {
 	cfg   Config
@@ -120,25 +152,18 @@ type Network struct {
 
 	recvBuf []int
 
-	// Per-event scratch reused across the Hello/selection hot path. The
-	// engine is single-goroutine, so one set shared by all nodes suffices;
-	// nothing built from these buffers outlives the event that filled it
-	// (selectors do not retain view slices, and anything stored — logical
-	// sets, Hello payloads — is copied out).
-	msgBuf     []hello.Message     // Table.*Into scratch
-	nbrBuf     []topology.NodeInfo // View.Neighbors scratch
-	multiBuf   []topology.MultiNodeInfo
-	posBuf     []geom.Point // flat backing for MultiNodeInfo.Positions
-	histBuf    []hello.Message
-	selfPosBuf []geom.Point
-	selBuf     []int            // SelectInto output scratch
-	scratch    topology.Scratch // protocol-kernel working storage
-	cdsNbrOf   map[int][]int    // reused cds.View.NeighborsOf
+	// The serial selection context (promoted methods: nw.updateSelection
+	// and friends). Parallel domain contexts live in parRun.
+	selCtx
+
+	cdsNbrOf   map[int][]int // reused cds.View.NeighborsOf
 	cdsNbrBuf  []int
 	cdsMarkBuf map[int]bool
 
 	freeDel   *delivery      // freelist of pooled flood deliveries
 	freeHello *helloDelivery // freelist of pooled delayed "Hello" deliveries
+
+	domGrid *radio.DomainGrid // region-parallel decomposition; nil = serial
 }
 
 // NewNetwork builds a run over the given mobility model.
@@ -169,6 +194,14 @@ func NewNetwork(model mobility.Model, cfg Config) (*Network, error) {
 		rng:   root.Sub('n'),
 		ch:    ch,
 		nodes: make([]*node, n),
+	}
+	nw.selCtx.cfg = &nw.cfg
+	nw.selCtx.pos = med
+	if cfg.Domains >= 1 {
+		nw.domGrid, err = radio.NewDomainGrid(model.Arena(), cfg.Domains)
+		if err != nil {
+			return nil, err
+		}
 	}
 	k := 1
 	if cfg.Mech.WeakK > 0 {
@@ -222,10 +255,17 @@ func (nw *Network) Engine() *sim.Engine { return nw.eng }
 
 // Run executes the simulation for the given duration (seconds) and returns
 // the aggregated result.
+//
+// With Config.Domains >= 1 (and a configuration the region-parallel engine
+// supports — see parallelEligible) the "Hello" traffic runs through the
+// domain-decomposed engine of parallel.go; everything else (floods, churn,
+// sampling, snapshots) stays on the serial event engine as synchronization
+// fences. Results are bit-identical either way.
 func (nw *Network) Run(duration float64) Result {
+	par := nw.parallelEligible()
 	if nw.cfg.Mech.Reactive {
 		nw.scheduleReactiveRounds()
-	} else {
+	} else if !par {
 		for _, nd := range nw.nodes {
 			nd := nd
 			// First Hello at a uniform offset within one interval keeps
@@ -286,8 +326,36 @@ func (nw *Network) Run(duration float64) Result {
 			nw.snapshotCount++
 		})
 	}
+	if par {
+		return nw.runParallel(duration)
+	}
 	nw.eng.Run(duration)
 	return nw.result()
+}
+
+// parallelEligible reports whether the configuration can run on the
+// region-parallel engine. The ineligible features all share one trait:
+// their "Hello" processing consumes shared, globally ordered state that
+// cannot be partitioned by receiver domain — the reactive scheme's
+// synchronized rounds, CDS neighbor-list payloads read at send time, the
+// collision MAC's interference log, the radio's shared loss stream, and
+// the channel's shared delay stream. Such configurations silently use the
+// serial engine (results are identical by construction, so the fallback is
+// a performance property, not a semantic one).
+func (nw *Network) parallelEligible() bool {
+	if nw.cfg.Domains < 1 {
+		return false
+	}
+	if nw.cfg.Mech.Reactive || nw.cfg.Mech.CDSForward {
+		return false
+	}
+	if nw.cfg.Radio.TxDuration > 0 || nw.cfg.Radio.LossRate > 0 {
+		return false
+	}
+	if nw.ch.DelayEnabled() {
+		return false
+	}
+	return true
 }
 
 // epoch returns the proactive scheme's global epoch index at time t:
@@ -307,6 +375,7 @@ func (nw *Network) sendHello(nd *node, now sim.Time) {
 	if nw.cfg.PosNoise > 0 {
 		// Imprecise positioning: the node advertises (and reasons from) a
 		// noisy estimate; the radio still transmits from the true spot.
+		//lint:ignore substream deliberate: parallel.go's appendRecord derives the SAME 'p' labels — the derivation is pure and keyed by (node, instant), and the two engines are mutually exclusive per run
 		noise := nw.rng.Sub('p', uint64(nd.id), uint64(now*1e6))
 		pos = geom.Pt(pos.X+nw.cfg.PosNoise*noise.NormFloat64(),
 			pos.Y+nw.cfg.PosNoise*noise.NormFloat64())
@@ -450,49 +519,49 @@ func (nw *Network) wuLiMarked(nd *node, now sim.Time) bool {
 // position here so nd's decisions agree with its neighbors' views), while
 // the transmission range is always computed from nd's current physical
 // position — the radio transmits from wherever the node actually is.
-func (nw *Network) updateSelection(nd *node, now sim.Time, selfPos geom.Point) {
-	if nw.cfg.Mech.WeakK > 0 {
-		nw.selectWeak(nd, now)
+func (sc *selCtx) updateSelection(nd *node, now sim.Time, selfPos geom.Point) {
+	if sc.cfg.Mech.WeakK > 0 {
+		sc.selectWeak(nd, now)
 		return
 	}
-	if nw.replayCached(nd, now, selModeLatest, 0, selfPos) {
+	if sc.replayCached(nd, now, selModeLatest, 0, selfPos) {
 		return
 	}
-	nw.msgBuf = nd.table.LatestInto(nw.msgBuf[:0], now)
-	nw.nbrBuf = nw.nbrBuf[:0]
-	for _, m := range nw.msgBuf {
-		nw.nbrBuf = append(nw.nbrBuf, topology.NodeInfo{ID: m.From, Pos: m.Pos})
+	sc.msgBuf = nd.table.LatestInto(sc.msgBuf[:0], now)
+	sc.nbrBuf = sc.nbrBuf[:0]
+	for _, m := range sc.msgBuf {
+		sc.nbrBuf = append(sc.nbrBuf, topology.NodeInfo{ID: m.From, Pos: m.Pos})
 	}
-	v := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: selfPos}, Neighbors: nw.nbrBuf}
+	v := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: selfPos}, Neighbors: sc.nbrBuf}
 	v = v.EnsureCanon()
-	nw.selBuf = topology.SelectInto(nw.cfg.Protocol, v, nw.selBuf[:0], &nw.scratch)
-	sel := nw.selBuf
-	nw.fillCache(nd, now, selModeLatest, 0, selfPos, v, sel)
-	cur := nw.med.PositionAt(nd.id, now)
+	sc.selBuf = topology.SelectInto(sc.cfg.Protocol, v, sc.selBuf[:0], &sc.scratch)
+	sel := sc.selBuf
+	sc.fillCache(nd, now, selModeLatest, 0, selfPos, v, sel)
+	cur := sc.pos.PositionAt(nd.id, now)
 	if cur != selfPos {
 		v.Self.Pos = cur
 	}
-	nw.applySelection(nd, v, sel)
+	sc.applySelection(nd, v, sel)
 }
 
 // selectFromVersion is updateSelection restricted to messages of one
 // version (reactive scheme).
-func (nw *Network) selectFromVersion(nd *node, now sim.Time, ver uint64) {
-	if nw.replayCached(nd, now, selModeVersioned, ver, nd.advertisedPos) {
+func (sc *selCtx) selectFromVersion(nd *node, now sim.Time, ver uint64) {
+	if sc.replayCached(nd, now, selModeVersioned, ver, nd.advertisedPos) {
 		return
 	}
-	nw.msgBuf = nd.table.VersionedInto(nw.msgBuf[:0], ver, now)
-	nw.nbrBuf = nw.nbrBuf[:0]
-	for _, m := range nw.msgBuf {
-		nw.nbrBuf = append(nw.nbrBuf, topology.NodeInfo{ID: m.From, Pos: m.Pos})
+	sc.msgBuf = nd.table.VersionedInto(sc.msgBuf[:0], ver, now)
+	sc.nbrBuf = sc.nbrBuf[:0]
+	for _, m := range sc.msgBuf {
+		sc.nbrBuf = append(sc.nbrBuf, topology.NodeInfo{ID: m.From, Pos: m.Pos})
 	}
-	v := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: nd.advertisedPos}, Neighbors: nw.nbrBuf}
+	v := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: nd.advertisedPos}, Neighbors: sc.nbrBuf}
 	v = v.EnsureCanon()
-	nw.selBuf = topology.SelectInto(nw.cfg.Protocol, v, nw.selBuf[:0], &nw.scratch)
-	sel := nw.selBuf
-	nw.fillCache(nd, now, selModeVersioned, ver, nd.advertisedPos, v, sel)
-	v.Self.Pos = nw.med.PositionAt(nd.id, now)
-	nw.applySelection(nd, v, sel)
+	sc.selBuf = topology.SelectInto(sc.cfg.Protocol, v, sc.selBuf[:0], &sc.scratch)
+	sel := sc.selBuf
+	sc.fillCache(nd, now, selModeVersioned, ver, nd.advertisedPos, v, sel)
+	v.Self.Pos = sc.pos.PositionAt(nd.id, now)
+	sc.applySelection(nd, v, sel)
 }
 
 // selectAsOf re-selects nd's logical neighbors from its local view pinned
@@ -500,23 +569,23 @@ func (nw *Network) selectFromVersion(nd *node, now sim.Time, ver uint64) {
 // version <= v, and nd's own position is its own advertisement as of v.
 // Every node relaying a packet pinned to v resolves shared neighbors to the
 // same messages, giving the consistent views of the proactive scheme.
-func (nw *Network) selectAsOf(nd *node, now sim.Time, v uint64) {
+func (sc *selCtx) selectAsOf(nd *node, now sim.Time, v uint64) {
 	own := nd.ownAsOf(v)
-	if nw.replayCached(nd, now, selModeAsOf, v, own.Pos) {
+	if sc.replayCached(nd, now, selModeAsOf, v, own.Pos) {
 		return
 	}
-	nw.msgBuf = nd.table.AsOfInto(nw.msgBuf[:0], v, now)
-	nw.nbrBuf = nw.nbrBuf[:0]
-	for _, m := range nw.msgBuf {
-		nw.nbrBuf = append(nw.nbrBuf, topology.NodeInfo{ID: m.From, Pos: m.Pos})
+	sc.msgBuf = nd.table.AsOfInto(sc.msgBuf[:0], v, now)
+	sc.nbrBuf = sc.nbrBuf[:0]
+	for _, m := range sc.msgBuf {
+		sc.nbrBuf = append(sc.nbrBuf, topology.NodeInfo{ID: m.From, Pos: m.Pos})
 	}
-	view := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: own.Pos}, Neighbors: nw.nbrBuf}
+	view := topology.View{Self: topology.NodeInfo{ID: nd.id, Pos: own.Pos}, Neighbors: sc.nbrBuf}
 	view = view.EnsureCanon()
-	nw.selBuf = topology.SelectInto(nw.cfg.Protocol, view, nw.selBuf[:0], &nw.scratch)
-	sel := nw.selBuf
-	nw.fillCache(nd, now, selModeAsOf, v, own.Pos, view, sel)
-	view.Self.Pos = nw.med.PositionAt(nd.id, now)
-	nw.applySelection(nd, view, sel)
+	sc.selBuf = topology.SelectInto(sc.cfg.Protocol, view, sc.selBuf[:0], &sc.scratch)
+	sel := sc.selBuf
+	sc.fillCache(nd, now, selModeAsOf, v, own.Pos, view, sel)
+	view.Self.Pos = sc.pos.PositionAt(nd.id, now)
+	sc.applySelection(nd, view, sel)
 }
 
 // replayCached replays nd's memoized selection when the cached fingerprint
@@ -528,21 +597,21 @@ func (nw *Network) selectAsOf(nd *node, now sim.Time, v uint64) {
 // set is replayed as-is; the transmission range is recomputed from the
 // node's current physical position over the cached neighbor positions,
 // which is precisely ActualRange of the miss path's final view.
-func (nw *Network) replayCached(nd *node, now sim.Time, mode uint8, pin uint64, selfPos geom.Point) bool {
+func (sc *selCtx) replayCached(nd *node, now sim.Time, mode uint8, pin uint64, selfPos geom.Point) bool {
 	c := &nd.cache
-	if nw.cfg.NoSelectionCache || c.mode != mode || c.pin != pin ||
+	if sc.cfg.NoSelectionCache || c.mode != mode || c.pin != pin ||
 		c.tableVer != nd.table.Version() || c.selfPos != selfPos ||
 		now < c.filledAt || now > c.stableUntil {
 		return false
 	}
-	cur := nw.med.PositionAt(nd.id, now)
+	cur := sc.pos.PositionAt(nd.id, now)
 	r := 0.0
 	for _, p := range c.selPos {
 		if d := cur.Dist(p); d > r {
 			r = d
 		}
 	}
-	nw.setSelection(nd, c.sel, r)
+	sc.setSelection(nd, c.sel, r)
 	return true
 }
 
@@ -550,8 +619,8 @@ func (nw *Network) replayCached(nd *node, now sim.Time, mode uint8, pin uint64, 
 // Neighbor positions are copied out of the (scratch-backed) view for the
 // hit path's range recomputation; sel and v.Neighbors both ascend by id, so
 // a merge scan pairs them in one pass.
-func (nw *Network) fillCache(nd *node, now sim.Time, mode uint8, pin uint64, selfPos geom.Point, v topology.View, sel []int) {
-	if nw.cfg.NoSelectionCache {
+func (sc *selCtx) fillCache(nd *node, now sim.Time, mode uint8, pin uint64, selfPos geom.Point, v topology.View, sel []int) {
+	if sc.cfg.NoSelectionCache {
 		return
 	}
 	c := &nd.cache
@@ -577,29 +646,29 @@ func (nw *Network) fillCache(nd *node, now sim.Time, mode uint8, pin uint64, sel
 // advertised positions (approximated by the advertised one — nodes do not
 // retain their own history beyond it — plus the current position, which is
 // what the next Hello will advertise).
-func (nw *Network) selectWeak(nd *node, now sim.Time) {
-	nw.selfPosBuf = append(nw.selfPosBuf[:0], nd.advertisedPos, nw.med.PositionAt(nd.id, now))
-	self := topology.MultiNodeInfo{ID: nd.id, Positions: nw.selfPosBuf}
-	nw.msgBuf = nd.table.LatestInto(nw.msgBuf[:0], now)
+func (sc *selCtx) selectWeak(nd *node, now sim.Time) {
+	sc.selfPosBuf = append(sc.selfPosBuf[:0], nd.advertisedPos, sc.pos.PositionAt(nd.id, now))
+	self := topology.MultiNodeInfo{ID: nd.id, Positions: sc.selfPosBuf}
+	sc.msgBuf = nd.table.LatestInto(sc.msgBuf[:0], now)
 	// Pre-grow the flat position buffer so per-neighbor subslices stay
 	// valid while later neighbors append to it.
-	if need := len(nw.msgBuf) * nd.table.K(); cap(nw.posBuf) < need {
+	if need := len(sc.msgBuf) * nd.table.K(); cap(sc.posBuf) < need {
 		//lint:ignore noalloc amortized growth: the buffer is retained across calls; TestSteadyStateAllocs pins the steady state at zero
-		nw.posBuf = make([]geom.Point, 0, 2*need)
+		sc.posBuf = make([]geom.Point, 0, 2*need)
 	}
-	nw.posBuf = nw.posBuf[:0]
-	nw.multiBuf = nw.multiBuf[:0]
-	for _, m := range nw.msgBuf {
-		start := len(nw.posBuf)
-		nw.histBuf = nd.table.HistoryInto(nw.histBuf[:0], m.From, now)
-		for _, h := range nw.histBuf {
-			nw.posBuf = append(nw.posBuf, h.Pos)
+	sc.posBuf = sc.posBuf[:0]
+	sc.multiBuf = sc.multiBuf[:0]
+	for _, m := range sc.msgBuf {
+		start := len(sc.posBuf)
+		sc.histBuf = nd.table.HistoryInto(sc.histBuf[:0], m.From, now)
+		for _, h := range sc.histBuf {
+			sc.posBuf = append(sc.posBuf, h.Pos)
 		}
-		nw.multiBuf = append(nw.multiBuf, topology.MultiNodeInfo{ID: m.From, Positions: nw.posBuf[start:len(nw.posBuf):len(nw.posBuf)]})
+		sc.multiBuf = append(sc.multiBuf, topology.MultiNodeInfo{ID: m.From, Positions: sc.posBuf[start:len(sc.posBuf):len(sc.posBuf)]})
 	}
-	mv := topology.MultiView{Self: self, Neighbors: nw.multiBuf}
-	nw.selBuf = topology.SelectWeakInto(nw.cfg.Weak, mv, nw.selBuf[:0], &nw.scratch)
-	sel := nw.selBuf
+	mv := topology.MultiView{Self: self, Neighbors: sc.multiBuf}
+	sc.selBuf = topology.SelectWeakInto(sc.cfg.Weak, mv, sc.selBuf[:0], &sc.scratch)
+	sel := sc.selBuf
 	// Range must cover the farthest stored position of every selected
 	// neighbor (conservative). sel and mv.Neighbors both ascend by id, so
 	// a single merge scan finds each selected neighbor — O(sel + nbrs)
@@ -617,14 +686,14 @@ func (nw *Network) selectWeak(nd *node, now sim.Time) {
 			}
 		}
 	}
-	nw.setSelection(nd, sel, r)
+	sc.setSelection(nd, sel, r)
 }
 
-func (nw *Network) applySelection(nd *node, v topology.View, sel []int) {
-	nw.setSelection(nd, sel, topology.ActualRange(v, sel))
+func (sc *selCtx) applySelection(nd *node, v topology.View, sel []int) {
+	sc.setSelection(nd, sel, topology.ActualRange(v, sel))
 }
 
-func (nw *Network) setSelection(nd *node, sel []int, actual float64) {
+func (sc *selCtx) setSelection(nd *node, sel []int, actual float64) {
 	for _, id := range nd.logical {
 		nd.isLogical[id] = false
 	}
@@ -633,7 +702,7 @@ func (nw *Network) setSelection(nd *node, sel []int, actual float64) {
 		nd.isLogical[id] = true
 	}
 	nd.actualRange = actual
-	nd.txRange = topology.ExtendedRange(actual, nw.cfg.Mech.Buffer, nw.cfg.NormalRange)
+	nd.txRange = topology.ExtendedRange(actual, sc.cfg.Mech.Buffer, sc.cfg.NormalRange)
 }
 
 // sampleMetrics records the per-node transmission range and degrees.

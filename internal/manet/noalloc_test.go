@@ -24,7 +24,10 @@ func TestNoallocAnnotationsConform(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"Network.scheduleHellos", "delivery.Act", "helloDelivery.Act"}
+	want := []string{
+		"Network.scheduleHellos", "delivery.Act", "helloDelivery.Act",
+		"parRun.processDomain", "parRun.processRecord",
+	}
 	if !reflect.DeepEqual(annotated, want) {
 		t.Fatalf("//manet:noalloc set changed: got %v, want %v — update this conformance test with the new path", annotated, want)
 	}
@@ -84,5 +87,36 @@ func TestNoallocAnnotationsConform(t *testing.T) {
 	}
 	if events == 0 {
 		t.Fatal("measured windows executed no events; the conformance run is vacuous")
+	}
+}
+
+// TestParallelStepNoalloc pins the region-parallel hot path (//manet:noalloc
+// on parRun.processDomain and parRun.processRecord): after warm-up, a full
+// synchronization window — batched resolve, domain assignment, record
+// dispatch, and the inline single-worker barrier — must allocate nothing.
+func TestParallelStepNoalloc(t *testing.T) {
+	model := parWaypoint(t, 48, 20, 60, 5)
+	cfg := Config{Protocol: topology.RNG{}, Domains: 2, ParallelWorkers: 1, Seed: 7}
+	nw, err := NewNetwork(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the parallel clock directly, with no engine fences scheduled:
+	// every step is one pure hello window ending in a barrier.
+	pr := nw.newParRun()
+	defer pr.close()
+	const horizon = 1e9
+	for i := 0; i < 8; i++ { // warm up buffers, tables, selection scratch
+		pr.step(horizon)
+	}
+	if nw.helloTx == 0 {
+		t.Fatal("warm-up dispatched no hellos; the measurement is vacuous")
+	}
+	before := nw.helloTx
+	if allocs := testing.AllocsPerRun(60, func() { pr.step(horizon) }); allocs != 0 {
+		t.Errorf("parallel window: %.2f allocs/run in steady state, want 0", allocs)
+	}
+	if nw.helloTx == before {
+		t.Fatal("measured windows dispatched no hellos; the measurement is vacuous")
 	}
 }

@@ -1,0 +1,321 @@
+package manet
+
+// Region-parallel "Hello" execution. The arena is decomposed into a grid of
+// spatial domains (radio.DomainGrid); simulated time advances in
+// synchronization windows bounded by W = guard/(2·vmax) — the bounded-
+// displacement horizon within which window-start domain assignments plus a
+// guard halo provably cover every receiver (the same argument as the radio
+// medium's staleness grid and the paper's buffer zone, Theorem 5). Each
+// window runs in three phases:
+//
+//  1. Dispatch (serial): resolve all positions at window start in one
+//     batched cursor sweep, assign ownership, generate one helloRecord per
+//     due beacon — all sender-side bookkeeping (version numbers, own-
+//     history, advertised position, counters, position noise) happens
+//     here, in the merged (time, sender) order — and enqueue each record
+//     to every domain its halo disc can reach.
+//  2. Barrier (parallel): every domain scans its owned nodes against each
+//     queued record, delivering to exact-distance receivers through their
+//     per-receiver loss chains and re-selecting the sender's logical
+//     neighbors in its owner domain. All state touched here is owned by
+//     exactly one domain (receiver tables, sender selection) or read-only
+//     for the window, so worker scheduling cannot reorder anything
+//     observable — the deterministic-merge rule is simply "records in
+//     (time, sender) order, per-node state only in its owner domain".
+//  3. Fence (serial): the event engine drains everything else — floods,
+//     churn, metric samples, snapshots — exactly as the serial engine
+//     would, between windows.
+//
+// Results are bit-identical to the serial engine for any worker count and
+// any domain grid; the experiment-level differential matrix in
+// parallel_test.go proves it under the race detector. The only documented
+// divergence is measure-zero: events at exactly equal float timestamps are
+// merged by (time, sender/engine-first) instead of the serial engine's
+// scheduling sequence number, which can only matter when two independent
+// continuous random draws collide exactly.
+
+import (
+	"math"
+	"sort"
+
+	"mstc/internal/geom"
+	"mstc/internal/hello"
+	"mstc/internal/mobility"
+	"mstc/internal/radio"
+	"mstc/internal/sim"
+)
+
+// helloRecord is one dispatched beacon: the send instant, the sender, its
+// exact transmit position, and the message as advertised (possibly noisy).
+type helloRecord struct {
+	at      float64
+	sender  int
+	truePos geom.Point
+	msg     hello.Message
+}
+
+// domainCtx is the per-domain mutable state: a private position cursor, a
+// private selection context (scratch + cursor-backed position source), and
+// the receiver scratch list. Nothing in it is ever touched by another
+// domain's worker.
+type domainCtx struct {
+	cur  *mobility.Cursor
+	sel  selCtx
+	recv []int
+}
+
+// parRun is one region-parallel execution of Network.Run.
+type parRun struct {
+	nw   *Network
+	grid *radio.DomainGrid
+	pool *sim.Regions
+
+	cur  *mobility.Cursor // dispatcher-owned cursor (assignment + senders)
+	doms []domainCtx
+
+	nextHello []float64 // per-node next beacon instant (serial Every chain)
+	nextDue   float64   // min over nextHello: cheap window-skip test
+	records   []helloRecord
+	posT      []geom.Point // window-start positions (batched resolve)
+	domainOf  []int        // window-start ownership per node
+	owned     [][]int      // per-domain owned node ids, ascending
+	queues    [][]int32    // per-domain record indices, dispatch order
+
+	window float64 // synchronization window length W (may be +Inf)
+	haloR  float64 // NormalRange + grid guard
+	r2     float64 // NormalRange² (exact receiver filter)
+	t      float64 // parallel clock: hellos before t are processed
+}
+
+// newParRun builds the per-run parallel state. The per-node first-beacon
+// offsets consume exactly the draws the serial scheduler would, so hello
+// timing is bit-identical between engines.
+func (nw *Network) newParRun() *parRun {
+	n := len(nw.nodes)
+	grid := nw.domGrid
+	doms := grid.Domains()
+	pr := &parRun{
+		nw:        nw,
+		grid:      grid,
+		cur:       mobility.NewCursor(nw.model),
+		doms:      make([]domainCtx, doms),
+		nextHello: make([]float64, n),
+		nextDue:   math.Inf(1),
+		posT:      make([]geom.Point, 0, n),
+		domainOf:  make([]int, 0, n),
+		owned:     make([][]int, doms),
+		queues:    make([][]int32, doms),
+		window:    grid.Window(nw.model.MaxSpeed()),
+		haloR:     nw.cfg.NormalRange + grid.Guard(),
+		r2:        nw.cfg.NormalRange * nw.cfg.NormalRange,
+	}
+	for d := range pr.doms {
+		cur := mobility.NewCursor(nw.model)
+		pr.doms[d] = domainCtx{
+			cur:  cur,
+			sel:  selCtx{cfg: &nw.cfg, pos: cur},
+			recv: make([]int, 0, n),
+		}
+	}
+	for i, nd := range nw.nodes {
+		//lint:ignore substream deliberate: the parallel engine replays the serial scheduler's 'f' hello-offset draws bit-identically; the two paths are mutually exclusive per run
+		first := nw.rng.Sub('f', uint64(nd.id)).Uniform(0, nd.interval)
+		pr.nextHello[i] = first
+		if first < pr.nextDue {
+			pr.nextDue = first
+		}
+	}
+	workers := nw.cfg.ParallelWorkers
+	pr.pool = sim.NewRegions(doms, workers, pr.processDomain)
+	return pr
+}
+
+// close releases the worker pool.
+func (pr *parRun) close() { pr.pool.Close() }
+
+// runParallel is the region-parallel body of Network.Run: alternate hello
+// windows with engine fences until the horizon, then drain the engine.
+func (nw *Network) runParallel(duration float64) Result {
+	pr := nw.newParRun()
+	defer pr.close()
+	for pr.step(duration) {
+	}
+	nw.eng.Run(duration)
+	return nw.result()
+}
+
+// step advances the parallel clock by one synchronization window (clipped
+// to the next engine fence) and drains the fence when the clock reaches
+// it. It returns false once the clock has reached the horizon.
+func (pr *parRun) step(duration float64) bool {
+	nw := pr.nw
+	if pr.t >= duration {
+		return false
+	}
+	// F is the next fence: the earliest pending engine event, or the
+	// horizon. Hellos strictly before F are independent of it; events at
+	// exactly F run engine-first (see the file comment on ties).
+	F := duration
+	if at, ok := nw.eng.NextAt(); ok && at < F {
+		F = at
+	}
+	if F > pr.t {
+		end := pr.t + pr.window
+		if end > F {
+			end = F
+		}
+		if pr.nextDue <= end {
+			//lint:ignore float-eq exact assignment: end == duration iff the min above picked the horizon
+			pr.runWindow(pr.t, end, end == duration)
+		}
+		pr.t = end
+		if pr.t < F {
+			return true
+		}
+	}
+	nw.eng.Run(F)
+	return pr.t < duration
+}
+
+// runWindow dispatches every beacon due in [start, end) — inclusive of end
+// on the final window, matching the serial engine's inclusive horizon —
+// and runs the domain barrier over the dispatched records.
+func (pr *parRun) runWindow(start, end float64, incl bool) {
+	nw := pr.nw
+	// Window-start snapshot: batched position resolve, then ownership.
+	pr.posT = pr.cur.ResolveAllInto(pr.posT[:0], start)
+	pr.domainOf = pr.grid.AssignInto(pr.posT, pr.domainOf[:0])
+	// Generate records per node in beacon order; sender-side bookkeeping
+	// runs here, serially, exactly as the serial sendHello would.
+	pr.records = pr.records[:0]
+	pr.nextDue = math.Inf(1)
+	for i, nd := range nw.nodes {
+		at := pr.nextHello[i]
+		//lint:ignore float-eq the final window includes beacons at exactly the horizon, like the serial engine's Run(duration)
+		for at < end || (incl && at == end) {
+			if !nd.isDown(at) {
+				pr.appendRecord(nd, at)
+			}
+			at += nd.interval
+		}
+		pr.nextHello[i] = at
+		if at < pr.nextDue {
+			pr.nextDue = at
+		}
+	}
+	if len(pr.records) == 0 {
+		return
+	}
+	// Deterministic merge: records execute in (time, sender) order — the
+	// serial event order, since each sender beacons at most once per
+	// instant.
+	sort.Sort(pr)
+	for d := range pr.owned {
+		pr.owned[d] = pr.owned[d][:0]
+		pr.queues[d] = pr.queues[d][:0]
+	}
+	for i, d := range pr.domainOf {
+		pr.owned[d] = append(pr.owned[d], i)
+	}
+	side := pr.grid.Side()
+	for ri := range pr.records {
+		rec := &pr.records[ri]
+		// Every domain the halo disc intersects sees the record; owners of
+		// true receivers are always inside (halo-containment property,
+		// pinned by radio's TestDomainHaloCoversMovingReceivers).
+		ix0, iy0, ix1, iy1 := pr.grid.HaloBounds(rec.truePos, pr.haloR)
+		for iy := iy0; iy <= iy1; iy++ {
+			for ix := ix0; ix <= ix1; ix++ {
+				d := iy*side + ix
+				pr.queues[d] = append(pr.queues[d], int32(ri))
+			}
+		}
+	}
+	pr.pool.Barrier()
+}
+
+// appendRecord performs the sender side of one beacon — the exact
+// bookkeeping sequence of the serial sendHello up to the transmission.
+func (pr *parRun) appendRecord(nd *node, at float64) {
+	nw := pr.nw
+	pos := pr.cur.PositionAt(nd.id, at)
+	adv := pos
+	if nw.cfg.PosNoise > 0 {
+		//lint:ignore substream deliberate: same 'p' labels as the serial sendHello — the derivation is pure and keyed by (node, instant), so both engines read identical noise
+		noise := nw.rng.Sub('p', uint64(nd.id), uint64(at*1e6))
+		adv = geom.Pt(pos.X+nw.cfg.PosNoise*noise.NormFloat64(),
+			pos.Y+nw.cfg.PosNoise*noise.NormFloat64())
+	}
+	if nw.cfg.Mech.Proactive {
+		nd.version = nw.epoch(at)
+	} else {
+		nd.version++
+	}
+	msg := hello.Message{From: nd.id, Pos: adv, SentAt: at, Version: nd.version}
+	nd.recordOwn(msg)
+	nd.advertisedPos = adv
+	nd.advertisedAt = at
+	nw.helloTx++
+	nw.helloEnergy++ // hellos always use the normal (full) power
+	pr.records = append(pr.records, helloRecord{at: at, sender: nd.id, truePos: pos, msg: msg})
+}
+
+// sort.Interface over records: (time, sender) ascending. Each sender
+// beacons at most once per instant, so the order is total.
+func (pr *parRun) Len() int { return len(pr.records) }
+func (pr *parRun) Swap(i, j int) {
+	pr.records[i], pr.records[j] = pr.records[j], pr.records[i]
+}
+func (pr *parRun) Less(i, j int) bool {
+	a, b := &pr.records[i], &pr.records[j]
+	if a.at != b.at { //lint:ignore float-eq exact compare orders records; equal instants fall through to sender id
+		return a.at < b.at
+	}
+	return a.sender < b.sender
+}
+
+// processDomain drains one domain's record queue — the per-worker unit of
+// a barrier. Everything it writes is owned by this domain: receiver tables
+// and loss chains of owned nodes, and the selection state of owned
+// senders.
+//manet:noalloc
+func (pr *parRun) processDomain(d int) {
+	pd := &pr.doms[d]
+	for _, ri := range pr.queues[d] {
+		pr.processRecord(pd, d, &pr.records[ri])
+	}
+}
+
+// processRecord delivers one beacon inside one domain: exact-distance
+// receiver scan over the owned nodes (bit-identical to the serial radio's
+// filter), per-receiver loss chains in ascending-id order (the serial
+// FilterLost order restricted to this domain — chains are per-receiver, so
+// the restriction changes nothing), table observes, and the sender's
+// re-selection in its owner domain.
+//manet:noalloc
+func (pr *parRun) processRecord(pd *domainCtx, d int, rec *helloRecord) {
+	nw := pr.nw
+	pd.recv = pd.recv[:0]
+	for _, v := range pr.owned[d] {
+		if v == rec.sender {
+			continue
+		}
+		if pd.cur.PositionAt(v, rec.at).Dist2(rec.truePos) <= pr.r2 {
+			pd.recv = append(pd.recv, v)
+		}
+	}
+	recv := pd.recv
+	if nw.ch.LossEnabled() {
+		// Chains advance for every in-range receiver, down or not — the
+		// serial Transmit does the same before the isDown delivery check.
+		recv = nw.ch.FilterLost(recv)
+	}
+	for _, rid := range recv {
+		if !nw.nodes[rid].isDown(rec.at) {
+			nw.nodes[rid].table.Observe(rec.msg)
+		}
+	}
+	if pr.domainOf[rec.sender] == d {
+		pd.sel.updateSelection(nw.nodes[rec.sender], rec.at, rec.msg.Pos)
+	}
+}

@@ -1,0 +1,176 @@
+package manet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"mstc/internal/channel"
+	"mstc/internal/mobility"
+	"mstc/internal/topology"
+	"mstc/internal/xrand"
+)
+
+// Differential proof of the region-parallel engine: for every supported
+// configuration, every domain grid, and every worker count, the parallel
+// engine must produce bit-identical results to the serial engine — the
+// digest covers the aggregate Result and the final per-node logical
+// neighbor sets and transmission ranges. `make check` runs this under the
+// race detector, so the same matrix also proves the barrier publishes all
+// cross-domain state correctly.
+
+// parWaypoint builds a fresh random-waypoint model for the matrix runs.
+func parWaypoint(tb testing.TB, n int, avgSpeed, horizon float64, seed uint64) mobility.Model {
+	tb.Helper()
+	lo, hi := mobility.SpeedSetdest(avgSpeed)
+	m, err := mobility.NewRandomWaypoint(arena, mobility.WaypointConfig{
+		N: n, SpeedMin: lo, SpeedMax: hi, Horizon: horizon,
+	}, xrand.New(seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// runDigest executes one run and hashes everything observable about it.
+func runDigest(tb testing.TB, model mobility.Model, cfg Config, dur float64) string {
+	tb.Helper()
+	nw, err := NewNetwork(model, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res := nw.Run(dur)
+	if res.HelloTx == 0 || res.Floods == 0 {
+		tb.Fatalf("degenerate run: hellos=%d floods=%d", res.HelloTx, res.Floods)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%#v\n", res)
+	for id := 0; id < model.N(); id++ {
+		fmt.Fprintf(h, "%d|%v|%g|%g\n",
+			id, nw.LogicalNeighbors(id), nw.TxRange(id), nw.ActualRange(id))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// gridWorkers is the (domain side, worker count) matrix: single-domain
+// degenerate grids, square grids with fewer/equal/more workers than cores,
+// and a deliberately odd worker count that does not divide the domain count.
+var gridWorkers = []struct{ side, workers int }{
+	{1, 1}, {1, 2},
+	{2, 1}, {2, 2}, {2, 4}, {2, 7},
+	{4, 1}, {4, 4}, {4, 7},
+}
+
+func TestParallelMatchesSerialMatrix(t *testing.T) {
+	const (
+		n     = 60
+		dur   = 8.0
+		speed = 20.0
+	)
+	variants := []struct {
+		name string
+		cfg  Config
+		full bool // run the full grid×worker matrix
+	}{
+		{
+			name: "ideal",
+			cfg: Config{
+				Protocol: topology.RNG{}, FloodRate: 5,
+				SnapshotEvery: 2.5, Seed: 7,
+			},
+			full: true,
+		},
+		{
+			name: "faulty",
+			cfg: func() Config {
+				c := Config{
+					Protocol: topology.SPT{Alpha: 2, Range: 250}, FloodRate: 5,
+					PosNoise: 5, Seed: 11,
+				}
+				c.Channel.Loss = channel.LossConfig{
+					Model: channel.GilbertElliott, Rate: 0.3, MeanBurst: 6,
+				}
+				c.Channel.Churn = channel.ChurnConfig{MeanUp: 6, MeanDown: 1}
+				return c
+			}(),
+			full: true,
+		},
+		{
+			name: "mechanisms",
+			cfg: Config{
+				Protocol: topology.RNG{}, FloodRate: 5,
+				Mech: Mechanisms{Buffer: 10, ViewSync: true, PhysicalNeighbors: true, Proactive: true},
+				Seed: 13,
+			},
+		},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			model := parWaypoint(t, n, speed, dur, 40+v.cfg.Seed)
+			want := runDigest(t, model, v.cfg, dur)
+			matrix := gridWorkers
+			if !v.full {
+				matrix = []struct{ side, workers int }{{2, 2}, {4, 7}}
+			}
+			for _, gw := range matrix {
+				cfg := v.cfg
+				cfg.Domains = gw.side
+				cfg.ParallelWorkers = gw.workers
+				if nw, err := NewNetwork(model, cfg); err != nil {
+					t.Fatal(err)
+				} else if !nw.parallelEligible() {
+					t.Fatalf("variant %s must take the parallel path", v.name)
+				}
+				if got := runDigest(t, model, cfg, dur); got != want {
+					t.Errorf("%dx%d domains, %d workers: digest %s != serial %s",
+						gw.side, gw.side, gw.workers, got[:16], want[:16])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFallbackConfigs pins the automatic serial fallback: features
+// the region-parallel engine does not support must still run (on the serial
+// path) and produce results identical to Domains = 0.
+func TestParallelFallbackConfigs(t *testing.T) {
+	const dur = 6.0
+	model := parWaypoint(t, 40, 10, dur, 99)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"channel-delay", func(c *Config) { c.Channel.Delay = channel.DelayConfig{Max: 0.05} }},
+		{"reactive", func(c *Config) { c.Mech.Reactive = true }},
+		{"collision-mac", func(c *Config) { c.Radio.TxDuration = 0.001 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Protocol: topology.RNG{}, FloodRate: 5, Seed: 3}
+			tc.mutate(&cfg)
+			nw, err := NewNetwork(model, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nw.parallelEligible() {
+				t.Fatal("config unexpectedly parallel-eligible with Domains = 0")
+			}
+			want := runDigest(t, model, cfg, dur)
+			cfg.Domains = 2
+			cfg.ParallelWorkers = 4
+			nw2, err := NewNetwork(model, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nw2.parallelEligible() {
+				t.Fatalf("%s must fall back to the serial engine", tc.name)
+			}
+			if got := runDigest(t, model, cfg, dur); got != want {
+				t.Errorf("%s: fallback digest %s != serial %s", tc.name, got[:16], want[:16])
+			}
+		})
+	}
+}

@@ -1,8 +1,6 @@
 package mobility
 
 import (
-	"sort"
-
 	"mstc/internal/geom"
 )
 
@@ -22,8 +20,13 @@ func (b *base) trackOf(id int) *track { return &b.tracks[id] }
 // It remembers the last trajectory leg used per node and resumes the scan
 // there, so a monotone query sequence costs O(1) amortized per query
 // instead of the O(log legs) binary search of Model.PositionAt. Backward
-// jumps (a query earlier than the cursor) fall back to a binary search over
-// the prefix, so results are correct for any query order.
+// jumps (a query earlier than the cursor) first probe the adjacent earlier
+// leg — a smooth reverse sweep is O(1) per query too — and only fall back
+// to a binary search over the prefix on a genuine long jump, so results are
+// correct for any query order. Every path, including the boundary
+// shortcuts, re-anchors the per-node leg index, so the next query resumes
+// from where the last one landed instead of re-searching from a stale
+// position.
 //
 // Results are bit-for-bit identical to Model.PositionAt: both resolve a
 // query to the first leg whose end time is >= t and interpolate inside that
@@ -38,6 +41,11 @@ type Cursor struct {
 	src     trackSource // nil when the model does not expose legs
 	horizon float64
 	idx     []int // per-node index of the last leg used
+
+	// backSearches counts backward jumps that needed a full prefix binary
+	// search (the adjacent-leg probe missed). Exposed to the package's
+	// regression test: a smooth reverse sweep must not accumulate these.
+	backSearches int
 }
 
 // NewCursor returns a cursor over the model. Models from other packages
@@ -54,6 +62,7 @@ func NewCursor(m Model) *Cursor {
 
 // PositionAt returns node id's position at time t, clamped to [0, Horizon]
 // exactly like Model.PositionAt.
+//manet:noalloc
 func (c *Cursor) PositionAt(id int, t float64) geom.Point {
 	if c.src == nil {
 		return c.model.PositionAt(id, t)
@@ -63,14 +72,49 @@ func (c *Cursor) PositionAt(id int, t float64) geom.Point {
 	} else if t > c.horizon {
 		t = c.horizon
 	}
+	return c.resolve(id, t)
+}
+
+// ResolveAllInto appends every node's position at instant t to dst and
+// returns the extended slice. It is the batched form of PositionAt: one
+// pass over the per-node leg cursors in id order, so resolving a whole
+// instant (domain assignment, grid rebuilds, metric sweeps) is a single
+// cache-friendly sweep instead of n scattered queries. Results are
+// bit-identical to n individual PositionAt calls and the per-node cursors
+// advance exactly as they would have.
+//manet:noalloc
+func (c *Cursor) ResolveAllInto(dst []geom.Point, t float64) []geom.Point {
+	n := c.model.N()
+	if c.src == nil {
+		for id := 0; id < n; id++ {
+			dst = append(dst, c.model.PositionAt(id, t))
+		}
+		return dst
+	}
+	if t < 0 {
+		t = 0
+	} else if t > c.horizon {
+		t = c.horizon
+	}
+	for id := 0; id < n; id++ {
+		dst = append(dst, c.resolve(id, t))
+	}
+	return dst
+}
+
+// resolve returns node id's position at the already-clamped instant t and
+// re-anchors the node's leg index at the leg that answered.
+func (c *Cursor) resolve(id int, t float64) geom.Point {
 	legs := c.src.trackOf(id).legs
 	if len(legs) == 0 {
 		return geom.Point{}
 	}
 	if t <= legs[0].t0 {
+		c.idx[id] = 0
 		return legs[0].from
 	}
 	if last := legs[len(legs)-1]; t >= last.t1 {
+		c.idx[id] = len(legs) - 1
 		return last.to
 	}
 	// The correct leg is the first one with t1 >= t — the same choice
@@ -81,8 +125,24 @@ func (c *Cursor) PositionAt(id int, t float64) geom.Point {
 		i = len(legs) - 1
 	}
 	if i > 0 && legs[i-1].t1 >= t {
-		// Backward jump: the answer lies in [0, i).
-		i = sort.Search(i, func(j int) bool { return legs[j].t1 >= t })
+		// Backward jump: the answer lies in [0, i). Probe the adjacent
+		// earlier leg first — the common case of a reverse sweep — and
+		// binary-search the prefix only on a long jump.
+		if i == 1 || legs[i-2].t1 < t {
+			i--
+		} else {
+			c.backSearches++
+			lo, hi := 0, i
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if legs[mid].t1 >= t {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			i = lo
+		}
 	} else {
 		for legs[i].t1 < t {
 			i++

@@ -52,6 +52,91 @@ func TestCursorMatchesModel(t *testing.T) {
 	}
 }
 
+// TestCursorReverseSweepReanchors is the regression test for the backward-
+// jump fallback: a smooth reverse sweep used to binary-search the whole
+// prefix on every query because the early-out branches never re-anchored
+// the per-node index. With the adjacent-leg probe, walking time backwards
+// leg by leg must cost O(1) per query — zero prefix searches.
+func TestCursorReverseSweepReanchors(t *testing.T) {
+	arena := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1000, 1000)}
+	m, err := NewRandomWaypoint(arena, WaypointConfig{
+		N: 4, SpeedMin: 1, SpeedMax: 160, Pause: 0.5, Horizon: 120,
+	}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := NewCursor(m)
+	// Advance each node to the horizon, then sweep backward in small steps
+	// (smaller than any leg, so consecutive queries land on the same or the
+	// adjacent earlier leg).
+	for id := 0; id < m.N(); id++ {
+		cur.PositionAt(id, 120)
+	}
+	cur.backSearches = 0
+	for at := 120.0; at >= 0; at -= 0.05 {
+		for id := 0; id < m.N(); id++ {
+			got, want := cur.PositionAt(id, at), m.PositionAt(id, at)
+			if got != want { //lint:ignore float-eq the contract under test is bit-identity
+				t.Fatalf("node %d at t=%v: cursor %v != model %v", id, at, got, want)
+			}
+		}
+	}
+	if cur.backSearches != 0 {
+		t.Errorf("smooth reverse sweep triggered %d prefix binary searches, want 0 (adjacent-leg probe should absorb them)", cur.backSearches)
+	}
+	// A genuine long jump must still search (and stay correct).
+	for id := 0; id < m.N(); id++ {
+		cur.PositionAt(id, 119)
+		got, want := cur.PositionAt(id, 1), m.PositionAt(id, 1)
+		if got != want { //lint:ignore float-eq the contract under test is bit-identity
+			t.Fatalf("long jump, node %d: cursor %v != model %v", id, got, want)
+		}
+	}
+	if cur.backSearches == 0 {
+		t.Error("long backward jumps triggered no binary search; the probe condition is wrong")
+	}
+}
+
+// TestResolveAllIntoMatchesPositionAt checks the batched resolver: one
+// ResolveAllInto sweep must produce bit-identical positions to per-node
+// PositionAt queries, leave the cursors anchored the same way, and support
+// the legless-model fallback.
+func TestResolveAllIntoMatchesPositionAt(t *testing.T) {
+	arena := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1000, 1000)}
+	m, err := NewRandomWaypoint(arena, WaypointConfig{
+		N: 25, SpeedMin: 1, SpeedMax: 160, Pause: 1, Horizon: 60,
+	}, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, single := NewCursor(m), NewCursor(m)
+	buf := make([]geom.Point, 0, m.N())
+	for _, at := range []float64{0, 0.4, 3.7, 3.7, 12.9, 5.1, 60, -2, 1e9, 30} {
+		buf = batched.ResolveAllInto(buf[:0], at)
+		if len(buf) != m.N() {
+			t.Fatalf("ResolveAllInto(t=%v) returned %d positions, want %d", at, len(buf), m.N())
+		}
+		for id := 0; id < m.N(); id++ {
+			if want := single.PositionAt(id, at); buf[id] != want { //lint:ignore float-eq the contract under test is bit-identity
+				t.Fatalf("node %d at t=%v: batched %v != single %v", id, at, buf[id], want)
+			}
+		}
+		for id := 0; id < m.N(); id++ {
+			if batched.idx[id] != single.idx[id] {
+				t.Fatalf("node %d at t=%v: batched cursor anchored at leg %d, single at %d", id, at, batched.idx[id], single.idx[id])
+			}
+		}
+	}
+
+	flat := NewCursor(flatModel{})
+	buf = flat.ResolveAllInto(buf[:0], 5)
+	for id, p := range buf {
+		if want := geom.Pt(float64(id), 5); p != want {
+			t.Fatalf("fallback batch: node %d got %v, want %v", id, p, want)
+		}
+	}
+}
+
 // TestCursorFallback checks that models without precomputed legs are served
 // through their own PositionAt.
 func TestCursorFallback(t *testing.T) {

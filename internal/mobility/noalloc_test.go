@@ -1,0 +1,73 @@
+package mobility
+
+import (
+	"sort"
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/lint"
+	"mstc/internal/xrand"
+)
+
+// TestNoallocAnnotationsConform pins every //manet:noalloc annotation in
+// this package with testing.AllocsPerRun: the cursor's single-query and
+// batched resolvers must allocate nothing in steady state (they are the
+// per-event position path of every simulation). Coverage is cross-checked
+// against the annotation scan in both directions.
+func TestNoallocAnnotationsConform(t *testing.T) {
+	arena := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1000, 1000)}
+	m, err := NewRandomWaypoint(arena, WaypointConfig{
+		N: 32, SpeedMin: 1, SpeedMax: 160, Pause: 1, Horizon: 60,
+	}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := NewCursor(m)
+	buf := make([]geom.Point, 0, m.N())
+	at, id := 0.0, 0
+
+	measured := map[string]func(){
+		"Cursor.PositionAt": func() {
+			at += 0.01
+			if at > 55 {
+				at = 0 // exercise the backward-jump paths too
+			}
+			cur.PositionAt(id%m.N(), at)
+			id++
+		},
+		"Cursor.ResolveAllInto": func() {
+			at += 0.01
+			if at > 55 {
+				at = 0
+			}
+			buf = cur.ResolveAllInto(buf[:0], at)
+		},
+	}
+
+	annotated, err := lint.NoallocFuncs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(annotated))
+	for _, name := range annotated {
+		seen[name] = true
+		if measured[name] == nil {
+			t.Errorf("%s is annotated //manet:noalloc but has no AllocsPerRun entry", name)
+		}
+	}
+	var names []string
+	for name := range measured {
+		if !seen[name] {
+			t.Errorf("%s is measured here but not annotated //manet:noalloc", name)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fn := measured[name]
+		fn() // warm up before measuring
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/run in steady state, want 0", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"mstc/internal/geom"
+	"mstc/internal/mobility"
+	"mstc/internal/xrand"
+)
+
+// TestDomainGridAccounting pins the decomposition arithmetic: cell sizes,
+// guard distance, window length, and the static-scenario unbounded window.
+func TestDomainGridAccounting(t *testing.T) {
+	arena := geom.Square(900)
+	dg, err := NewDomainGrid(arena, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Side() != 3 || dg.Domains() != 9 {
+		t.Fatalf("side/domains = %d/%d, want 3/9", dg.Side(), dg.Domains())
+	}
+	if got, want := dg.Guard(), 150.0; got != want { //lint:ignore float-eq exact arithmetic: 900/3/2
+		t.Fatalf("guard = %g, want %g", got, want)
+	}
+	if got, want := dg.Window(30), 2.5; got != want { //lint:ignore float-eq exact arithmetic: 150/(2*30)
+		t.Fatalf("window(30) = %g, want %g", got, want)
+	}
+	if w := dg.Window(0); !math.IsInf(w, 1) {
+		t.Fatalf("window(0) = %g, want +Inf", w)
+	}
+	if _, err := NewDomainGrid(arena, 0); err == nil {
+		t.Error("side 0 accepted")
+	}
+	if _, err := NewDomainGrid(geom.Rect{}, 2); err == nil {
+		t.Error("degenerate arena accepted")
+	}
+}
+
+// TestDomainGridAssignment checks ownership assignment: in-arena points
+// land in the domain containing them, boundary and out-of-arena points
+// clamp to valid indices, and AssignInto matches per-point assignment.
+func TestDomainGridAssignment(t *testing.T) {
+	dg, err := NewDomainGrid(geom.Square(900), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    geom.Point
+		want int
+	}{
+		{geom.Pt(0, 0), 0},
+		{geom.Pt(299, 0), 0},
+		{geom.Pt(301, 0), 1},
+		{geom.Pt(899, 899), 8},
+		{geom.Pt(900, 900), 8}, // arena max clamps into the last domain
+		{geom.Pt(-50, 450), 3}, // out-of-arena clamps to the edge column
+		{geom.Pt(450, 1e6), 7}, // and to the edge row
+		{geom.Pt(450.1, 450.1), 4},
+	}
+	pts := make([]geom.Point, len(cases))
+	for i, c := range cases {
+		pts[i] = c.p
+		if got := dg.domainAt(c.p); got != c.want {
+			t.Errorf("domainAt(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	assigned := dg.AssignInto(pts, make([]int, 0, len(pts)))
+	for i, c := range cases {
+		if assigned[i] != c.want {
+			t.Errorf("AssignInto[%d] = %d, want %d", i, assigned[i], c.want)
+		}
+	}
+}
+
+// TestDomainHaloCoversMovingReceivers is the safety property the region-
+// parallel engine rests on: assign nodes to domains at window start T,
+// advance time by at most Window(vmax), and every geometric receiver of
+// any transmission must be owned by a domain inside the sender's halo
+// bounding box at radius r + Guard(). The test drives real random-waypoint
+// motion at the paper's top speed and checks every (sender, receiver,
+// instant) triple.
+func TestDomainHaloCoversMovingReceivers(t *testing.T) {
+	arena := geom.Square(900)
+	lo, hi := mobility.SpeedSetdest(160)
+	model, err := mobility.NewRandomWaypoint(arena, mobility.WaypointConfig{
+		N: 60, SpeedMin: lo, SpeedMax: hi, Horizon: 30,
+	}, xrand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 250.0
+	cur := mobility.NewCursor(model)
+	posT := make([]geom.Point, 0, model.N())
+	domainOf := make([]int, 0, model.N())
+	for _, side := range []int{2, 3, 4} {
+		dg, err := NewDomainGrid(arena, side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := dg.Window(model.MaxSpeed())
+		if w <= 0 || math.IsInf(w, 1) {
+			t.Fatalf("side %d: window %g not positive finite for vmax %g", side, w, model.MaxSpeed())
+		}
+		for T := 0.0; T < 30; T += 5.0 {
+			posT = cur.ResolveAllInto(posT[:0], T)
+			domainOf = dg.AssignInto(posT, domainOf[:0])
+			// Probe several instants through the window, including its end.
+			for _, frac := range []float64{0, 0.33, 0.81, 1} {
+				at := T + frac*w
+				for s := 0; s < model.N(); s++ {
+					sp := cur.PositionAt(s, at)
+					ix0, iy0, ix1, iy1 := dg.HaloBounds(sp, r+dg.Guard())
+					for v := 0; v < model.N(); v++ {
+						if v == s || cur.PositionAt(v, at).Dist(sp) > r {
+							continue
+						}
+						d := domainOf[v]
+						ix, iy := d%side, d/side
+						if ix < ix0 || ix > ix1 || iy < iy0 || iy > iy1 {
+							t.Fatalf("side %d, window [%g, %g]: receiver %d (domain %d,%d) outside sender %d's halo box [%d,%d]x[%d,%d] at t=%g",
+								side, T, T+w, v, ix, iy, s, ix0, ix1, iy0, iy1, at)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -186,6 +186,18 @@ func (e *Engine) Every(start, interval Time, fn Event) {
 	e.Schedule(start, tick)
 }
 
+// NextAt returns the instant of the earliest pending event. ok is false
+// when the queue is empty or the engine is stopped — the engine has nothing
+// left to run. Callers that interleave engine events with externally driven
+// work (the region-parallel hello loop) use it to bound how far they may
+// advance before draining the engine.
+func (e *Engine) NextAt() (at Time, ok bool) {
+	if e.stopped || len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // Step runs the next pending event, advancing the clock to it. It returns
 // false if the queue is empty or the engine is stopped.
 func (e *Engine) Step() bool {
