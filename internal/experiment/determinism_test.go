@@ -172,6 +172,9 @@ func TestDigestUnchangedByEngineParallelism(t *testing.T) {
 		tasks = append(tasks, Run{Protocol: "RNG", Speed: speed})
 		tasks = append(tasks, Run{Protocol: "MST", Speed: speed, Mech: manet.Mechanisms{Buffer: 10, ViewSync: true}})
 		tasks = append(tasks, Run{Protocol: "MST", Speed: speed, Mech: manet.Mechanisms{Proactive: true}})
+		// Weak consistency: multiple beacons per synchronization window must
+		// select against their own advertised positions, not the window's last.
+		tasks = append(tasks, Run{Protocol: "MST", Speed: speed, Mech: manet.Mechanisms{WeakK: 3}})
 		// Reactive is not parallel-eligible: exercises the serial fallback.
 		tasks = append(tasks, Run{Protocol: "MST", Speed: speed, Mech: manet.Mechanisms{Reactive: true}})
 	}

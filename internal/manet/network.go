@@ -521,7 +521,7 @@ func (nw *Network) wuLiMarked(nd *node, now sim.Time) bool {
 // position — the radio transmits from wherever the node actually is.
 func (sc *selCtx) updateSelection(nd *node, now sim.Time, selfPos geom.Point) {
 	if sc.cfg.Mech.WeakK > 0 {
-		sc.selectWeak(nd, now)
+		sc.selectWeak(nd, now, selfPos)
 		return
 	}
 	if sc.replayCached(nd, now, selModeLatest, 0, selfPos) {
@@ -643,11 +643,15 @@ func (sc *selCtx) fillCache(nd *node, now sim.Time, mode uint8, pin uint64, self
 
 // selectWeak recomputes nd's selection under weak consistency: the view
 // carries up to WeakK recent positions per neighbor and nd's own recent
-// advertised positions (approximated by the advertised one — nodes do not
-// retain their own history beyond it — plus the current position, which is
-// what the next Hello will advertise).
-func (sc *selCtx) selectWeak(nd *node, now sim.Time) {
-	sc.selfPosBuf = append(sc.selfPosBuf[:0], nd.advertisedPos, sc.pos.PositionAt(nd.id, now))
+// advertised positions (approximated by selfPos, the advertisement the
+// caller is selecting against — nodes do not retain their own history
+// beyond it — plus the current position, which is what the next Hello will
+// advertise). selfPos arrives as a parameter rather than being read from
+// nd.advertisedPos: the region-parallel barrier replays beacons after
+// dispatch has already overwritten advertisedPos with a later beacon of the
+// same window, and it must select against what THIS beacon advertised.
+func (sc *selCtx) selectWeak(nd *node, now sim.Time, selfPos geom.Point) {
+	sc.selfPosBuf = append(sc.selfPosBuf[:0], selfPos, sc.pos.PositionAt(nd.id, now))
 	self := topology.MultiNodeInfo{ID: nd.id, Positions: sc.selfPosBuf}
 	sc.msgBuf = nd.table.LatestInto(sc.msgBuf[:0], now)
 	// Pre-grow the flat position buffer so per-neighbor subslices stay

@@ -10,10 +10,15 @@ package manet
 //
 //  1. Dispatch (serial): resolve all positions at window start in one
 //     batched cursor sweep, assign ownership, generate one helloRecord per
-//     due beacon — all sender-side bookkeeping (version numbers, own-
+//     due beacon, and enqueue each record to every domain its halo disc
+//     can reach. All sender-side bookkeeping (version numbers, own-
 //     history, advertised position, counters, position noise) happens
-//     here, in the merged (time, sender) order — and enqueue each record
-//     to every domain its halo disc can reach.
+//     here, per node in that node's beacon order — NOT the merged
+//     (time, sender) order, which is immaterial because bookkeeping
+//     touches only sender-local state. Anything the barrier must read at a
+//     beacon's own instant rather than the window's last — the advertised
+//     position a later beacon of the same window overwrites — therefore
+//     travels inside the record (msg.Pos), never through node fields.
 //  2. Barrier (parallel): every domain scans its owned nodes against each
 //     queued record, delivering to exact-distance receivers through their
 //     per-receiver loss chains and re-selecting the sender's logical
@@ -30,9 +35,10 @@ package manet
 // any domain grid; the experiment-level differential matrix in
 // parallel_test.go proves it under the race detector. The only documented
 // divergence is measure-zero: events at exactly equal float timestamps are
-// merged by (time, sender/engine-first) instead of the serial engine's
-// scheduling sequence number, which can only matter when two independent
-// continuous random draws collide exactly.
+// merged by (time, sender/engine-first) — at mid-run fences and at the
+// horizon alike — instead of the serial engine's scheduling sequence
+// number, which can only matter when two independent continuous random
+// draws collide exactly.
 
 import (
 	"math"
@@ -164,9 +170,18 @@ func (pr *parRun) step(duration float64) bool {
 		if end > F {
 			end = F
 		}
+		//lint:ignore float-eq exact assignment: end == duration iff the min above picked the horizon
+		horizon := end == duration
+		if horizon {
+			// Engine-first at the horizon too: F == duration means the
+			// earliest pending event is at >= duration, so this drains
+			// exactly the events at the horizon instant before the
+			// inclusive final dispatch — the same tie rule as mid-run
+			// fences.
+			nw.eng.Run(duration)
+		}
 		if pr.nextDue <= end {
-			//lint:ignore float-eq exact assignment: end == duration iff the min above picked the horizon
-			pr.runWindow(pr.t, end, end == duration)
+			pr.runWindow(pr.t, end, horizon)
 		}
 		pr.t = end
 		if pr.t < F {

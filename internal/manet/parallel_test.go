@@ -4,9 +4,12 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"reflect"
 	"testing"
 
 	"mstc/internal/channel"
+	"mstc/internal/geom"
+	"mstc/internal/hello"
 	"mstc/internal/mobility"
 	"mstc/internal/topology"
 	"mstc/internal/xrand"
@@ -104,6 +107,25 @@ func TestParallelMatchesSerialMatrix(t *testing.T) {
 				Seed: 13,
 			},
 		},
+		{
+			// Weak consistency end to end. The first engine fence sits at
+			// 2·HelloMax = 2.5 s while hello intervals are ≈1 s and every
+			// grid's synchronization window exceeds that gap, so nodes
+			// beacon 2-4 times inside the opening window — the regime where
+			// dispatch has overwritten advertisedPos before the barrier
+			// replays earlier beacons. The digest only observes each
+			// window's final selection (later beacons overwrite earlier
+			// ones before any fence reads them), so the per-beacon
+			// advertised-position contract the barrier relies on is pinned
+			// separately by TestSelectWeakUsesCallerSelfPos.
+			name: "weak",
+			cfg: Config{
+				Weak: topology.WeakRNG{}, FloodRate: 5,
+				Mech: Mechanisms{WeakK: 3},
+				Seed: 17,
+			},
+			full: true,
+		},
 	}
 	for _, v := range variants {
 		v := v
@@ -130,6 +152,52 @@ func TestParallelMatchesSerialMatrix(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSelectWeakUsesCallerSelfPos pins the contract the region-parallel
+// barrier relies on for weak consistency: selectWeak must select against
+// the self position its caller passes (the position the beacon being
+// processed actually advertised, rec.msg.Pos in the barrier), never
+// against nd.advertisedPos — by barrier time, dispatch has already
+// overwritten that field with the window's LAST beacon. The end-to-end
+// matrix cannot see a violation (each window's final selection is computed
+// from the last beacon either way), so this test plants a decoy in
+// advertisedPos and asserts it is ignored.
+//
+// Geometry: node 0 at the origin with neighbors at (100,0) and (200,0).
+// Seen from the origin, wRNG removes the (0,2) link (node 1 relays:
+// cMin(0,2)=200 > max(100,100)); seen from the decoy (400,0), the self
+// position set {(400,0),(0,0)} widens cMax(0,1) to 300, so both links
+// survive. The two outcomes differ, so the assertion has teeth.
+func TestSelectWeakUsesCallerSelfPos(t *testing.T) {
+	origin := geom.Pt(0, 0)
+	decoy := geom.Pt(400, 0)
+	model := mobility.NewStatic(arena, []geom.Point{origin, geom.Pt(100, 0), geom.Pt(200, 0)}, 10)
+	nw, err := NewNetwork(model, Config{
+		Weak: topology.WeakRNG{},
+		Mech: Mechanisms{WeakK: 2},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const now = 1.0
+	nd := nw.nodes[0]
+	nd.table.Observe(hello.Message{From: 1, Pos: geom.Pt(100, 0), SentAt: now, Version: 1})
+	nd.table.Observe(hello.Message{From: 2, Pos: geom.Pt(200, 0), SentAt: now, Version: 1})
+	// Each call plants the opposite value in advertisedPos, so whichever
+	// of the two positions selectWeak actually reads, one assertion fires
+	// — and the pair doubles as proof the geometry discriminates.
+	nd.advertisedPos = origin
+	nw.updateSelection(nd, now, decoy)
+	if got := nw.LogicalNeighbors(0); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("selection(selfPos=decoy) = %v, want [1 2]: selectWeak ignored the caller's selfPos", got)
+	}
+	nd.advertisedPos = decoy
+	nw.updateSelection(nd, now, origin)
+	if got := nw.LogicalNeighbors(0); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("selection(selfPos=origin) = %v, want [1]: selectWeak read nd.advertisedPos instead of the caller's selfPos", got)
 	}
 }
 
