@@ -72,18 +72,25 @@ resume-smoke:
 
 # Region-parallel engine smoke: the same quick figure sweep on the serial
 # engine and on the domain-decomposed engine (2x2 domains, 4 workers) must
-# render byte-identical output. The in-process digest matrix (manet's
+# render byte-identical output — once on the ideal channel and once on the
+# faulty-channel sweep (bursty loss + delayed delivery + churn), which
+# exercises the parallel loss-chain, delivery-heap, and re-homing paths end
+# to end. The in-process digest matrix (manet's
 # TestParallelMatchesSerialMatrix, run by `make test`/`race`) is the deep
 # check; this one proves the end-to-end CLI plumbing.
+FAULTFLAGS := -exp faults -quick -reps 2 -duration 8
 parallel-smoke:
 	$(GO) run ./cmd/paperfig $(PFLAGS) > /tmp/par_serial.txt
 	$(GO) run ./cmd/paperfig $(PFLAGS) -domains 2 -engine-workers 4 > /tmp/par_domains.txt
 	cmp /tmp/par_serial.txt /tmp/par_domains.txt
+	$(GO) run ./cmd/paperfig $(FAULTFLAGS) > /tmp/par_faults_serial.txt
+	$(GO) run ./cmd/paperfig $(FAULTFLAGS) -domains 2 -engine-workers 4 > /tmp/par_faults_domains.txt
+	cmp /tmp/par_faults_serial.txt /tmp/par_faults_domains.txt
 
 # Gate the hot path against the committed baseline trajectory: three
 # repetitions of BenchmarkSingleRun, compared by minimum ns/op; fails on a
 # >30 % regression. Override the reference with BASELINE=BENCH_1.json etc.
-BASELINE ?= BENCH_6.json
+BASELINE ?= BENCH_7.json
 bench-compare:
 	$(GO) test -run '^$$' -bench '^BenchmarkSingleRun$$' -count 3 . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchreport -baseline $(BASELINE) -gate BenchmarkSingleRun -o /dev/null

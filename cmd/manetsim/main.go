@@ -97,6 +97,7 @@ func main() {
 		snapshotDt   = flag.Float64("snapshots", 0, "strict-connectivity snapshot period (s); 0 = off")
 		domains      = flag.Int("domains", 0, "region-parallel engine: domains x domains spatial grid (0 = serial engine)")
 		workers      = flag.Int("workers", 0, "region-parallel worker goroutines (requires -domains); results are bit-identical to serial")
+		engWorkers   = flag.Int("engine-workers", 0, "alias for -workers, matching paperfig's spelling (there -workers means run-level parallelism)")
 		churnUp      = flag.Float64("churn-up", 0, "mean node up-time (s); with -churn-down, enables failure injection")
 		churnDown    = flag.Float64("churn-down", 0, "mean node outage (s)")
 		recordPath   = flag.String("record", "", "record the mobility trace to this file and exit")
@@ -105,6 +106,15 @@ func main() {
 		memProf      = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// -engine-workers is a strict alias for -workers: either spelling works,
+	// but conflicting values are an error rather than a silent preference.
+	if *engWorkers != 0 {
+		if *workers != 0 && *workers != *engWorkers {
+			log.Fatalf("conflicting -workers=%d and -engine-workers=%d (they are aliases)", *workers, *engWorkers)
+		}
+		*workers = *engWorkers
+	}
 
 	// Profiles go to their own files; stdout stays byte-identical whether
 	// or not profiling is enabled.

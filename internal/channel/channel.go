@@ -14,7 +14,9 @@
 //
 // Determinism contract: every stochastic choice draws from a dedicated
 // xrand substream derived from the Model's root source — per-receiver loss
-// chains from ('l', id), delays from ('d'), per-node churn from ('k', id).
+// chains from ('l', id), per-delivery delays from substreams of the ('d')
+// parent keyed by the delivery's identity (see HelloDelay/FloodDelay), and
+// per-node churn from ('k', id).
 // The ideal configuration (zero value) builds no Model at all and consumes
 // no randomness, so simulations with the default channel are bit-identical
 // to ones that predate this package (pinned by the experiment package's
@@ -254,13 +256,14 @@ func (p *LossProcess) Lost() bool {
 }
 
 // Model is one run's channel state: per-receiver loss chains, the delay
-// stream, and the churn substream root. Build with NewModel; nil is the
-// ideal channel everywhere a *Model is accepted. A Model is single-
-// goroutine, like the engine that drives it.
+// substream parent, and the churn substream root. Build with NewModel; nil
+// is the ideal channel everywhere a *Model is accepted. The loss chains
+// are single-goroutine state like the engine that advances them; the delay
+// parent is derivation-only and therefore safe to key from concurrently.
 type Model struct {
 	cfg   Config
 	links []*LossProcess // per-receiver chains; nil when loss is off
-	delay *xrand.Source  // per-delivery delay draws; nil when delay is off
+	delay *xrand.Source  // keyed per-delivery delay parent; nil when delay is off
 	root  *xrand.Source
 }
 
@@ -326,10 +329,35 @@ func (m *Model) FilterLost(ids []int) []int {
 // DelayEnabled reports whether deliveries are deferred. Safe on nil.
 func (m *Model) DelayEnabled() bool { return m != nil && m.delay != nil }
 
-// DrawDelay returns the next per-delivery delay, uniform in [Min, Max].
-// It panics when delay is not enabled — callers gate on DelayEnabled.
-func (m *Model) DrawDelay() float64 {
-	return m.delay.Uniform(m.cfg.Delay.Min, m.cfg.Delay.Max)
+// delayKindHello and delayKindFlood are the constant first labels that
+// keep the two delay-derivation sites on the 'd' parent collision-free
+// (the substream analyzer's rule A).
+const (
+	delayKindHello = 'h'
+	delayKindFlood = 'b'
+)
+
+// HelloDelay returns the delivery delay of one "Hello" reception, uniform
+// in [Min, Max] and keyed by (sender, receiver, send-instant bits). The
+// derivation is pure: the same reception resolves to the same delay in
+// any engine and any evaluation order, and the keyed draw is allocation-
+// free, so both the serial pooled-actor path and the region-parallel
+// per-domain delivery heaps call it on their hot paths. Safe for
+// concurrent use — deriving never advances the 'd' parent. It panics when
+// delay is not enabled; callers gate on DelayEnabled.
+func (m *Model) HelloDelay(sender, rid int, sentBits uint64) float64 {
+	d := m.delay.Derive(delayKindHello, uint64(sender), uint64(rid), sentBits)
+	return d.Uniform(m.cfg.Delay.Min, m.cfg.Delay.Max)
+}
+
+// FloodDelay returns the delivery delay of one flood-packet reception,
+// uniform in [Min, Max] and keyed by (flood sequence number, forwarder,
+// receiver) — a node forwards a given flood at most once, so the key is
+// unique per reception. Purity, concurrency and panic behavior match
+// HelloDelay.
+func (m *Model) FloodDelay(fid uint64, sender, rid int) float64 {
+	d := m.delay.Derive(delayKindFlood, fid, uint64(sender), uint64(rid))
+	return d.Uniform(m.cfg.Delay.Min, m.cfg.Delay.Max)
 }
 
 // ChurnEnabled reports whether the node fault process is active. Safe on nil.

@@ -177,7 +177,7 @@ func TestDelayBounds(t *testing.T) {
 	var sum float64
 	const n = 20000
 	for i := 0; i < n; i++ {
-		d := m.DrawDelay()
+		d := m.HelloDelay(i%10, (i+1)%10, uint64(i))
 		if d < 0.05 || d >= 0.4 {
 			t.Fatalf("delay %g outside [0.05, 0.4)", d)
 		}
@@ -185,6 +185,14 @@ func TestDelayBounds(t *testing.T) {
 	}
 	if mean := sum / n; math.Abs(mean-0.225) > 0.01 {
 		t.Errorf("delay mean %g, want ~0.225", mean)
+	}
+	// The delay is a pure function of the delivery key, and the hello and
+	// flood kinds never share a substream even on identical numeric keys.
+	if a, b := m.HelloDelay(3, 4, 77), m.HelloDelay(3, 4, 77); a != b {
+		t.Errorf("HelloDelay not pure: %g != %g", a, b)
+	}
+	if a, b := m.HelloDelay(3, 4, 77), m.FloodDelay(77, 3, 4); a == b {
+		t.Errorf("hello and flood delay kinds collide: both %g", a)
 	}
 }
 

@@ -175,7 +175,8 @@ func TestDigestUnchangedByEngineParallelism(t *testing.T) {
 		// Weak consistency: multiple beacons per synchronization window must
 		// select against their own advertised positions, not the window's last.
 		tasks = append(tasks, Run{Protocol: "MST", Speed: speed, Mech: manet.Mechanisms{WeakK: 3}})
-		// Reactive is not parallel-eligible: exercises the serial fallback.
+		// Reactive rounds run on the parallel engine too (settle barrier
+		// passes); its synchronized-beacon schedule stresses the windowing.
 		tasks = append(tasks, Run{Protocol: "MST", Speed: speed, Mech: manet.Mechanisms{Reactive: true}})
 	}
 

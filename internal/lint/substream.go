@@ -11,8 +11,8 @@ import (
 // Substream enforces the xrand substream-labeling discipline that keeps
 // replay deterministic:
 //
-//   - Rule A (label collisions): two Sub(...) derivation sites on the same
-//     source whose label signatures can coincide — same arity, and every
+//   - Rule A (label collisions): two derivation sites (Sub or its by-value
+//     twin Derive) on the same source whose label signatures can coincide — same arity, and every
 //     position where both labels are compile-time constants is equal — may
 //     hand two consumers the same stream. Distinct constant labels in any
 //     position, or distinct arities, make collision impossible.
@@ -84,7 +84,9 @@ func runSubstream(p *Pass) {
 				return true
 			}
 			name := fun.Sel.Name
-			isSub := name == "Sub"
+			// Derive is Sub by value (hot-path keyed draws); both are
+			// derivation sites under every rule.
+			isSub := name == "Sub" || name == "Derive"
 			if !isSub && !drawMethods[name] {
 				return true
 			}
@@ -111,7 +113,7 @@ func runSubstream(p *Pass) {
 				site.consts = append(site.consts, cv)
 				parts = append(parts, types.ExprString(arg))
 			}
-			site.render = "Sub(" + strings.Join(parts, ", ") + ")"
+			site.render = name + "(" + strings.Join(parts, ", ") + ")"
 			g.subs = append(g.subs, site)
 			return true
 		})

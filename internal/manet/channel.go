@@ -1,6 +1,8 @@
 package manet
 
 import (
+	"math"
+
 	"mstc/internal/hello"
 	"mstc/internal/sim"
 )
@@ -25,6 +27,7 @@ type helloDelivery struct {
 // advertisement unless it is down at delivery time. The hello table keeps
 // the k highest versions per sender, so out-of-order arrivals — a short
 // delay overtaking a long one — resolve correctly without reordering here.
+//
 //manet:noalloc
 func (d *helloDelivery) Act(now sim.Time) {
 	nw, msg, rid := d.nw, d.msg, d.rid
@@ -35,14 +38,17 @@ func (d *helloDelivery) Act(now sim.Time) {
 }
 
 // scheduleHellos defers msg's delivery to every receiver by an independent
-// channel delay. Receivers arrive in ascending id, so the delay stream is
-// consumed in a deterministic order.
+// channel delay, keyed by (sender, receiver, send instant) — a pure
+// function of the delivery's identity, so the serial engine and the
+// region-parallel delivery heaps resolve identical delays.
+//
 //manet:noalloc
 func (nw *Network) scheduleHellos(msg hello.Message, receivers []int) {
+	sent := math.Float64bits(msg.SentAt)
 	for _, rid := range receivers {
 		d := nw.newHelloDelivery()
 		d.msg, d.rid = msg, rid
-		nw.eng.ScheduleActorIn(nw.ch.DrawDelay(), d)
+		nw.eng.ScheduleActorIn(nw.ch.HelloDelay(msg.From, rid, sent), d)
 	}
 }
 

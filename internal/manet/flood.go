@@ -18,6 +18,7 @@ func energyOf(rangeFrac, alpha float64) float64 {
 
 // flood tracks one network-wide broadcast probe.
 type flood struct {
+	id       uint64 // origination sequence number, keys jitter/delay draws
 	src      int
 	pin      uint64 // pinned view version (proactive scheme), 0 = unpinned
 	accepted []bool // node has accepted (and will forward) the packet
@@ -27,9 +28,10 @@ type flood struct {
 // originateFlood starts one weak-connectivity probe from a uniformly random
 // source (§5.1: broadcasts from random sources, 10 per second).
 func (nw *Network) originateFlood(now sim.Time) {
-	//lint:ignore substream historical draw order: source picks ride the root network stream; rerouting them through a Sub would change every golden digest
+	//lint:ignore substream historical draw order: source picks ride the root network stream; originations are globally ordered engine events in both engines, so the stream position matches
 	src := nw.rng.Intn(len(nw.nodes))
-	fl := &flood{src: src, accepted: make([]bool, len(nw.nodes))}
+	nw.floodSeq++
+	fl := &flood{id: nw.floodSeq, src: src, accepted: make([]bool, len(nw.nodes))}
 	if nw.cfg.Mech.Proactive {
 		// Pin the last *complete* epoch: every node has advertised under
 		// it and all those advertisements have propagated.
@@ -41,7 +43,13 @@ func (nw *Network) originateFlood(now sim.Time) {
 	}
 	fl.accepted[src] = true
 	fl.count = 1
-	nw.transmit(fl, src, now)
+	if nw.par != nil {
+		// Region-parallel run: originations fire at engine fences, but the
+		// forwarding cascade runs through the domain scan barriers.
+		nw.par.floodTransmit(fl, src, now)
+	} else {
+		nw.transmit(fl, src, now)
+	}
 	nw.eng.ScheduleIn(nw.cfg.FloodSettle, func(sim.Time) {
 		nw.floods++
 		nw.deliverySum += float64(fl.count-1) / float64(len(nw.nodes)-1)
@@ -98,17 +106,26 @@ func (nw *Network) transmit(fl *flood, sender int, now sim.Time) {
 		if !nw.cfg.Mech.PhysicalNeighbors && !nd.isLogical[rid] {
 			continue // dropped at the topology layer
 		}
-		//lint:ignore substream historical draw order: forward jitter rides the root network stream; moving it to a Sub would change every golden digest
-		delay := airtime + nw.med.Delay() + nw.rng.Uniform(0, nw.cfg.ForwardJitterMax)
-		if nw.ch.DelayEnabled() {
-			// Non-ideal channel: this reception is additionally deferred by
-			// its own bounded random delay (≤ Δ″), drawn in receiver order.
-			delay += nw.ch.DrawDelay()
-		}
 		d := nw.newDelivery()
 		d.fl, d.rid, d.tx, d.cover, d.airtime = fl, rid, tx, senderCover, airtime
-		nw.eng.ScheduleActorIn(delay, d)
+		nw.eng.ScheduleActorIn(nw.floodDelay(fl, sender, rid, airtime), d)
 	}
+}
+
+// floodDelay is the total deferral of one flood reception: airtime plus the
+// constant per-hop radio delay plus the keyed forward jitter — and, on a
+// non-ideal channel, the reception's own bounded random delay (≤ Δ″). Every
+// random component is a pure function of (flood, forwarder, receiver), so
+// the serial engine and the region-parallel flood rounds resolve identical
+// deferrals regardless of evaluation order.
+func (nw *Network) floodDelay(fl *flood, sender, rid int, airtime float64) float64 {
+	//lint:ignore noalloc Derive is by-value and never retains its label slice, so both stay on the stack; TestNoallocAnnotationsConform pins the steady state at zero
+	jit := nw.rng.Derive('j', fl.id, uint64(sender), uint64(rid))
+	delay := airtime + nw.med.Delay() + jit.Uniform(0, nw.cfg.ForwardJitterMax)
+	if nw.ch.DelayEnabled() {
+		delay += nw.ch.FloodDelay(fl.id, sender, rid)
+	}
+	return delay
 }
 
 // delivery is one pending flood-packet reception. Deliveries are pooled on
@@ -128,6 +145,7 @@ type delivery struct {
 // Act resolves the delivery. Acceptance resolves here, at delivery time:
 // the node may have accepted a concurrent copy meanwhile, and under the
 // collision MAC this copy may have been jammed.
+//
 //manet:noalloc
 func (d *delivery) Act(later sim.Time) {
 	nw, fl, rid := d.nw, d.fl, d.rid

@@ -135,6 +135,8 @@ type Network struct {
 	ch    *channel.Model // non-ideal channel; nil = ideal
 	nodes []*node
 
+	floodSeq uint64 // origination counter; keys per-flood jitter/delay draws
+
 	// accumulators
 	floods        int
 	deliverySum   float64
@@ -164,6 +166,7 @@ type Network struct {
 	freeHello *helloDelivery // freelist of pooled delayed "Hello" deliveries
 
 	domGrid *radio.DomainGrid // region-parallel decomposition; nil = serial
+	par     *parRun           // set while runParallel drives the run: floods route through the domain barriers
 }
 
 // NewNetwork builds a run over the given mobility model.
@@ -264,7 +267,9 @@ func (nw *Network) Engine() *sim.Engine { return nw.eng }
 func (nw *Network) Run(duration float64) Result {
 	par := nw.parallelEligible()
 	if nw.cfg.Mech.Reactive {
-		nw.scheduleReactiveRounds()
+		if !par {
+			nw.scheduleReactiveRounds()
+		}
 	} else if !par {
 		for _, nd := range nw.nodes {
 			nd := nd
@@ -334,29 +339,33 @@ func (nw *Network) Run(duration float64) Result {
 }
 
 // parallelEligible reports whether the configuration can run on the
-// region-parallel engine. The ineligible features all share one trait:
-// their "Hello" processing consumes shared, globally ordered state that
-// cannot be partitioned by receiver domain — the reactive scheme's
-// synchronized rounds, CDS neighbor-list payloads read at send time, the
-// collision MAC's interference log, the radio's shared loss stream, and
-// the channel's shared delay stream. Such configurations silently use the
-// serial engine (results are identical by construction, so the fallback is
-// a performance property, not a semantic one).
+// region-parallel engine. Radio loss, channel loss and delay, reactive
+// rounds, and flood forwarding are all covered: their random components
+// are pure functions of each event's identity (or per-receiver chains
+// replayed in chronological order), so domain barriers resolve them
+// bit-identically to the serial engine. Two features remain ineligible,
+// both because their "Hello"/flood processing consumes shared, globally
+// ordered state that cannot be partitioned by receiver domain: the
+// collision MAC's interference log (every transmission contends with
+// every overlapping one, arena-wide) and CDS forwarding (neighbor-list
+// payloads built from the sender's table at send time travel in the
+// packet and feed every receiver's marking state). Such configurations
+// silently use the serial engine (results are identical by construction,
+// so the fallback is a performance property, not a semantic one).
 func (nw *Network) parallelEligible() bool {
 	if nw.cfg.Domains < 1 {
 		return false
 	}
-	if nw.cfg.Mech.Reactive || nw.cfg.Mech.CDSForward {
-		return false
-	}
-	if nw.cfg.Radio.TxDuration > 0 || nw.cfg.Radio.LossRate > 0 {
-		return false
-	}
-	if nw.ch.DelayEnabled() {
+	if nw.cfg.Radio.TxDuration > 0 || nw.cfg.Mech.CDSForward {
 		return false
 	}
 	return true
 }
+
+// reactiveSettle is the reactive scheme's fixed settle offset after each
+// round: the bounded flooding/broadcast delay of §4.1. Shared by the
+// serial round scheduler and the parallel engine's settle passes.
+const reactiveSettle = 0.05
 
 // epoch returns the proactive scheme's global epoch index at time t:
 // version numbers are derived from synchronized coarse timestamps, standing
@@ -437,7 +446,7 @@ func (nw *Network) sendHello(nd *node, now sim.Time) {
 // same-version messages.
 func (nw *Network) scheduleReactiveRounds() {
 	interval := (nw.cfg.HelloMin + nw.cfg.HelloMax) / 2
-	const settle = 0.05 // bounded flooding/broadcast delay (§4.1)
+	const settle = reactiveSettle
 	round := uint64(0)
 	nw.eng.Every(0, interval, func(now sim.Time) {
 		round++

@@ -25,8 +25,10 @@ func TestNoallocAnnotationsConform(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{
-		"Network.scheduleHellos", "delivery.Act", "helloDelivery.Act",
-		"parRun.processDomain", "parRun.processRecord",
+		"Network.scheduleHellos", "delLess", "delivery.Act",
+		"domainCtx.popDel", "domainCtx.pushDel", "helloDelivery.Act",
+		"parRun.processDomain", "parRun.processFloodScan",
+		"parRun.processRecord", "parRun.processSegment", "parRun.processSettle",
 	}
 	if !reflect.DeepEqual(annotated, want) {
 		t.Fatalf("//manet:noalloc set changed: got %v, want %v — update this conformance test with the new path", annotated, want)

@@ -1,44 +1,71 @@
 package manet
 
-// Region-parallel "Hello" execution. The arena is decomposed into a grid of
+// Region-parallel execution. The arena is decomposed into a grid of
 // spatial domains (radio.DomainGrid); simulated time advances in
 // synchronization windows bounded by W = guard/(2·vmax) — the bounded-
-// displacement horizon within which window-start domain assignments plus a
+// displacement horizon within which a snapshot's domain assignments plus a
 // guard halo provably cover every receiver (the same argument as the radio
-// medium's staleness grid and the paper's buffer zone, Theorem 5). Each
-// window runs in three phases:
+// medium's staleness grid and the paper's buffer zone, Theorem 5).
 //
-//  1. Dispatch (serial): resolve all positions at window start in one
-//     batched cursor sweep, assign ownership, generate one helloRecord per
-//     due beacon, and enqueue each record to every domain its halo disc
-//     can reach. All sender-side bookkeeping (version numbers, own-
-//     history, advertised position, counters, position noise) happens
-//     here, per node in that node's beacon order — NOT the merged
-//     (time, sender) order, which is immaterial because bookkeeping
-//     touches only sender-local state. Anything the barrier must read at a
-//     beacon's own instant rather than the window's last — the advertised
-//     position a later beacon of the same window overwrites — therefore
-//     travels inside the record (msg.Pos), never through node fields.
-//  2. Barrier (parallel): every domain scans its owned nodes against each
-//     queued record, delivering to exact-distance receivers through their
-//     per-receiver loss chains and re-selecting the sender's logical
-//     neighbors in its owner domain. All state touched here is owned by
-//     exactly one domain (receiver tables, sender selection) or read-only
-//     for the window, so worker scheduling cannot reorder anything
-//     observable — the deterministic-merge rule is simply "records in
-//     (time, sender) order, per-node state only in its owner domain".
-//  3. Fence (serial): the event engine drains everything else — floods,
-//     churn, metric samples, snapshots — exactly as the serial engine
-//     would, between windows.
+// Inside a window the dispatcher (the calling goroutine) advances a merged
+// timeline of four item kinds, interleaving serial steps with parallel
+// barrier passes over the domains:
+//
+//   - Beacons. Dispatched serially in segments: all beacons due up to the
+//     next boundary (flood reception, settle pass, or window end) generate
+//     helloRecords — sender-side bookkeeping (version numbers, own
+//     history, advertised position, counters, position noise) runs here,
+//     per node in beacon order. Records are merged into (time, sender)
+//     order — the serial event order, since each sender beacons at most
+//     once per instant — queued to every domain their halo disc can
+//     reach, and processed by a segment barrier: each domain scans its
+//     owned nodes per record with the exact-distance filter, the keyed
+//     radio loss draw, and the per-receiver channel loss chains, then
+//     delivers (or, under channel delay, defers) and re-selects the
+//     sender in its owner domain. Dispatch never outruns the processing
+//     horizon, so anything the dispatcher reads at a boundary instant —
+//     a flood forwarder's advertised position, its own-advertisement
+//     history — is exactly the state the serial engine would see there.
+//   - Deferred receptions. Under channel delay each reception becomes a
+//     (deliver-at, seq) item on its receiver's owner-domain min-heap,
+//     drained by the same segment barriers in time order. seq reproduces
+//     the serial scheduling order (window, dispatch-sorted record index,
+//     receiver id), and pending items are re-homed to current owners at
+//     every snapshot, so ownership churn never strands a delivery.
+//   - Settle passes (reactive scheme). Each round dispatched queues one
+//     settle item; at its instant a barrier pass re-selects every node
+//     from the round's version. Segments stop at settle boundaries, so a
+//     later round can never overwrite the advertised positions the pass
+//     must read.
+//   - Flood receptions. Flood forwarding runs on a dispatcher-owned
+//     global (time, seq) min-heap. The dispatcher pops the earliest
+//     reception, resolves acceptance serially (accept flag, count,
+//     self-pruning cover check — the serial delivery.Act sequence), and
+//     on a forward runs the sender-side transmit serially (selection,
+//     counters, cover capture) followed by one scan barrier: every
+//     domain inside the sender's halo box scans its owned nodes with the
+//     same exact-distance + keyed-loss + loss-chain filter and emits
+//     accepting receivers to a per-domain outbox with their keyed
+//     delivery delays. Outboxes merge in ascending receiver order — the
+//     serial per-transmit schedule order — onto the global heap. Every
+//     random component of a flood reception (radio loss, channel loss
+//     chains, forward jitter, channel delay) is either a pure function
+//     of the reception's identity or a per-receiver chain advanced in
+//     chronological order, so the heap replays the serial engine's
+//     delivery schedule exactly.
+//
+// Between windows the event engine drains everything else — flood
+// originations and scoring fences, churn, metric samples, snapshots —
+// exactly as the serial engine would.
 //
 // Results are bit-identical to the serial engine for any worker count and
 // any domain grid; the experiment-level differential matrix in
 // parallel_test.go proves it under the race detector. The only documented
 // divergence is measure-zero: events at exactly equal float timestamps are
-// merged by (time, sender/engine-first) — at mid-run fences and at the
-// horizon alike — instead of the serial engine's scheduling sequence
-// number, which can only matter when two independent continuous random
-// draws collide exactly.
+// merged by a fixed priority (engine-first at fences, then beacons, then
+// deferred receptions, then settles, then flood receptions) instead of the
+// serial engine's scheduling sequence number, which can only matter when
+// two independent continuous random draws collide exactly.
 
 import (
 	"math"
@@ -60,14 +87,62 @@ type helloRecord struct {
 	msg     hello.Message
 }
 
+// delItem is one deferred "Hello" reception (non-ideal channel delay)
+// pending on its receiver's owner-domain heap. seq orders equal-instant
+// deliveries exactly as the serial engine's scheduling sequence would:
+// creation is chronological across windows (high bits), across the
+// window's (time, sender)-sorted records (middle bits), and ascending by
+// receiver within a record (low bits).
+type delItem struct {
+	at  float64
+	seq uint64
+	rid int
+	msg hello.Message
+}
+
+// settleItem is one pending reactive settle pass: at its instant every
+// node re-selects from the round's common version.
+type settleItem struct {
+	at  float64
+	ver uint64
+}
+
+// floodItem is one pending flood reception on the dispatcher's global
+// heap. (at, seq) reproduces the serial delivery order: seq is assigned
+// in transmit order, ascending by receiver within a transmit.
+type floodItem struct {
+	at    float64
+	seq   uint64
+	rid   int
+	fl    *flood
+	cover map[int]bool
+}
+
+// floodOut is one entry of a domain's flood-scan outbox: an accepting
+// receiver with its resolved delivery instant.
+type floodOut struct {
+	at  float64
+	rid int
+}
+
+// Barrier modes: what processDomain does on the next pool.Barrier.
+const (
+	modeSegment   = iota // drain the domain timeline (records + deferred) up to segH
+	modeSettle           // reactive settle pass over owned nodes
+	modeFloodScan        // receiver scan for the current flood transmit
+)
+
 // domainCtx is the per-domain mutable state: a private position cursor, a
-// private selection context (scratch + cursor-backed position source), and
-// the receiver scratch list. Nothing in it is ever touched by another
-// domain's worker.
+// private selection context (scratch + cursor-backed position source), the
+// receiver scratch list, the deferred-reception heap, and the flood-scan
+// outbox. Nothing in it is ever touched by another domain's worker.
 type domainCtx struct {
 	cur  *mobility.Cursor
 	sel  selCtx
 	recv []int
+	del  []delItem  // deferred receptions, (at, seq) min-heap
+	fout []floodOut // flood-scan outbox
+	qi   int        // cursor into pr.queues[d]
 }
 
 // parRun is one region-parallel execution of Network.Run.
@@ -76,16 +151,51 @@ type parRun struct {
 	grid *radio.DomainGrid
 	pool *sim.Regions
 
-	cur  *mobility.Cursor // dispatcher-owned cursor (assignment + senders)
+	cur  *mobility.Cursor // dispatcher-owned cursor (snapshots + senders)
 	doms []domainCtx
 
 	nextHello []float64 // per-node next beacon instant (serial Every chain)
-	nextDue   float64   // min over nextHello: cheap window-skip test
+	nextDue   float64   // next undispatched beacon/round instant
 	records   []helloRecord
-	posT      []geom.Point // window-start positions (batched resolve)
-	domainOf  []int        // window-start ownership per node
+	sortBase  int          // records[sortBase:] is the batch being sorted
+	gRec      int          // records before gRec are processed
+	posT      []geom.Point // snapshot positions (batched resolve)
+	domainOf  []int        // snapshot ownership per node
 	owned     [][]int      // per-domain owned node ids, ascending
 	queues    [][]int32    // per-domain record indices, dispatch order
+
+	reactive  bool    // reactive scheme: rounds + settle passes
+	roundIvl  float64 // common round interval
+	nextRound float64
+	round     uint64
+	settles   []settleItem
+	setIdx    int // settles before setIdx are processed
+	setAt     float64
+	setVer    uint64
+
+	fheap []floodItem // pending flood receptions, (at, seq) min-heap
+	fseq  uint64
+
+	mode    int
+	segH    float64 // segment horizon
+	segIncl bool    // segment includes items at exactly segH
+
+	scanFl     *flood
+	scanSender int
+	scanAt     float64
+	scanPos    geom.Point
+	scanR2     float64
+	scanX0     int // halo bounds of the current flood scan
+	scanY0     int
+	scanX1     int
+	scanY1     int
+
+	rehome []delItem  // snapshot re-homing scratch
+	fmerge []floodOut // flood outbox merge scratch
+
+	windowSeq uint64  // monotone window counter (delItem seq high bits)
+	snapAt    float64 // time of the last ownership snapshot
+	snapped   bool
 
 	window float64 // synchronization window length W (may be +Inf)
 	haloR  float64 // NormalRange + grid guard
@@ -111,6 +221,8 @@ func (nw *Network) newParRun() *parRun {
 		domainOf:  make([]int, 0, n),
 		owned:     make([][]int, doms),
 		queues:    make([][]int32, doms),
+		reactive:  nw.cfg.Mech.Reactive,
+		roundIvl:  (nw.cfg.HelloMin + nw.cfg.HelloMax) / 2,
 		window:    grid.Window(nw.model.MaxSpeed()),
 		haloR:     nw.cfg.NormalRange + grid.Guard(),
 		r2:        nw.cfg.NormalRange * nw.cfg.NormalRange,
@@ -123,12 +235,17 @@ func (nw *Network) newParRun() *parRun {
 			recv: make([]int, 0, n),
 		}
 	}
-	for i, nd := range nw.nodes {
-		//lint:ignore substream deliberate: the parallel engine replays the serial scheduler's 'f' hello-offset draws bit-identically; the two paths are mutually exclusive per run
-		first := nw.rng.Sub('f', uint64(nd.id)).Uniform(0, nd.interval)
-		pr.nextHello[i] = first
-		if first < pr.nextDue {
-			pr.nextDue = first
+	if pr.reactive {
+		// Rounds start at time 0, like the serial Every(0, interval).
+		pr.nextDue = 0
+	} else {
+		for i, nd := range nw.nodes {
+			//lint:ignore substream deliberate: the parallel engine replays the serial scheduler's 'f' hello-offset draws bit-identically; the two paths are mutually exclusive per run
+			first := nw.rng.Sub('f', uint64(nd.id)).Uniform(0, nd.interval)
+			pr.nextHello[i] = first
+			if first < pr.nextDue {
+				pr.nextDue = first
+			}
 		}
 	}
 	workers := nw.cfg.ParallelWorkers
@@ -141,9 +258,13 @@ func (pr *parRun) close() { pr.pool.Close() }
 
 // runParallel is the region-parallel body of Network.Run: alternate hello
 // windows with engine fences until the horizon, then drain the engine.
+// While it runs, nw.par routes flood originations through the parallel
+// transmit path (originateFlood fires from engine fences).
 func (nw *Network) runParallel(duration float64) Result {
 	pr := nw.newParRun()
 	defer pr.close()
+	nw.par = pr
+	defer func() { nw.par = nil }()
 	for pr.step(duration) {
 	}
 	nw.eng.Run(duration)
@@ -159,8 +280,8 @@ func (pr *parRun) step(duration float64) bool {
 		return false
 	}
 	// F is the next fence: the earliest pending engine event, or the
-	// horizon. Hellos strictly before F are independent of it; events at
-	// exactly F run engine-first (see the file comment on ties).
+	// horizon. Parallel work strictly before F is independent of it;
+	// events at exactly F run engine-first (see the file comment on ties).
 	F := duration
 	if at, ok := nw.eng.NextAt(); ok && at < F {
 		F = at
@@ -180,7 +301,7 @@ func (pr *parRun) step(duration float64) bool {
 			// fences.
 			nw.eng.Run(duration)
 		}
-		if pr.nextDue <= end {
+		if pr.hasWork(end, horizon) {
 			pr.runWindow(pr.t, end, horizon)
 		}
 		pr.t = end
@@ -192,48 +313,201 @@ func (pr *parRun) step(duration float64) bool {
 	return pr.t < duration
 }
 
-// runWindow dispatches every beacon due in [start, end) — inclusive of end
-// on the final window, matching the serial engine's inclusive horizon —
-// and runs the domain barrier over the dispatched records.
+// parDue reports whether an item at the given instant belongs to a window
+// (or segment) ending at end — inclusive of end only on the final window,
+// matching the serial engine's inclusive Run horizon.
+//
+//lint:ignore float-eq exact boundary compare: the inclusive case admits items at exactly the horizon, like the serial engine's Run(duration)
+func parDue(at, end float64, incl bool) bool { return at < end || (incl && at == end) }
+
+// hasWork reports whether any parallel work — beacons or rounds to
+// dispatch, deferred receptions, settle passes, flood receptions — is due
+// in a window ending at end.
+func (pr *parRun) hasWork(end float64, incl bool) bool {
+	if parDue(pr.nextDue, end, incl) {
+		return true
+	}
+	if len(pr.fheap) > 0 && parDue(pr.fheap[0].at, end, incl) {
+		return true
+	}
+	if pr.setIdx < len(pr.settles) && parDue(pr.settles[pr.setIdx].at, end, incl) {
+		return true
+	}
+	for d := range pr.doms {
+		if h := pr.doms[d].del; len(h) > 0 && parDue(h[0].at, end, incl) {
+			return true
+		}
+	}
+	return false
+}
+
+// runWindow advances the merged parallel timeline across [start, end) —
+// inclusive of end on the final window. Beacons are dispatched in segments
+// bounded by the next flood reception or settle pass, so the dispatcher
+// never writes sender-side state past the instant a serial reader (a flood
+// forward, a settle pass) observes it at.
 func (pr *parRun) runWindow(start, end float64, incl bool) {
-	nw := pr.nw
-	// Window-start snapshot: batched position resolve, then ownership.
-	pr.posT = pr.cur.ResolveAllInto(pr.posT[:0], start)
-	pr.domainOf = pr.grid.AssignInto(pr.posT, pr.domainOf[:0])
-	// Generate records per node in beacon order; sender-side bookkeeping
-	// runs here, serially, exactly as the serial sendHello would.
+	pr.windowSeq++
+	pr.snapshot(start)
 	pr.records = pr.records[:0]
-	pr.nextDue = math.Inf(1)
-	for i, nd := range nw.nodes {
-		at := pr.nextHello[i]
-		//lint:ignore float-eq the final window includes beacons at exactly the horizon, like the serial engine's Run(duration)
-		for at < end || (incl && at == end) {
-			if !nd.isDown(at) {
-				pr.appendRecord(nd, at)
+	pr.gRec = 0
+	for d := range pr.doms {
+		pr.queues[d] = pr.queues[d][:0]
+		pr.doms[d].qi = 0
+	}
+	for {
+		inf := math.Inf(1)
+		tf, ts := inf, inf
+		if len(pr.fheap) > 0 && parDue(pr.fheap[0].at, end, incl) {
+			tf = pr.fheap[0].at
+		}
+		if pr.setIdx < len(pr.settles) && parDue(pr.settles[pr.setIdx].at, end, incl) {
+			ts = pr.settles[pr.setIdx].at
+		}
+		th := inf
+		if parDue(pr.nextDue, end, incl) {
+			th = pr.nextDue
+		}
+		if pr.gRec < len(pr.records) && pr.records[pr.gRec].at < th {
+			th = pr.records[pr.gRec].at
+		}
+		for d := range pr.doms {
+			if h := pr.doms[d].del; len(h) > 0 && parDue(h[0].at, end, incl) && h[0].at < th {
+				th = h[0].at
 			}
-			at += nd.interval
 		}
-		pr.nextHello[i] = at
-		if at < pr.nextDue {
-			pr.nextDue = at
+		bnd := math.Min(tf, ts)
+		switch {
+		case math.IsInf(th, 1) && math.IsInf(bnd, 1):
+			return
+		case th <= bnd:
+			// Beacon/reception segment up to the next boundary. The
+			// boundary instant itself is included: deferred receptions at
+			// exactly a settle or flood instant resolve first (the serial
+			// order for settles; measure-zero for floods).
+			H, hIncl := end, incl
+			if bnd < H {
+				H, hIncl = bnd, true
+			}
+			pr.dispatchTo(H, hIncl)
+			// Dispatching a reactive round appends a settle pass that was
+			// not in bnd when this segment was chosen. Clip the drain to
+			// it: deliveries of this round with delays past the settle
+			// offset must stay pending until the settle has selected, as
+			// they do on the serial engine.
+			if pr.setIdx < len(pr.settles) && pr.settles[pr.setIdx].at < H {
+				H, hIncl = pr.settles[pr.setIdx].at, true
+			}
+			pr.segment(H, hIncl)
+		case ts <= tf:
+			pr.settlePass()
+		default:
+			pr.floodStep()
 		}
 	}
-	if len(pr.records) == 0 {
-		return
-	}
-	// Deterministic merge: records execute in (time, sender) order — the
-	// serial event order, since each sender beacons at most once per
-	// instant.
-	sort.Sort(pr)
+}
+
+// snapshot re-resolves every position at the given instant in one batched
+// cursor sweep, reassigns domain ownership, and re-homes pending deferred
+// receptions to their receivers' (possibly new) owner domains in (at, seq)
+// order — a deterministic permutation, so worker scheduling cannot leak
+// into heap contents.
+func (pr *parRun) snapshot(at float64) {
+	pr.posT = pr.cur.ResolveAllInto(pr.posT[:0], at)
+	pr.domainOf = pr.grid.AssignInto(pr.posT, pr.domainOf[:0])
 	for d := range pr.owned {
 		pr.owned[d] = pr.owned[d][:0]
-		pr.queues[d] = pr.queues[d][:0]
 	}
 	for i, d := range pr.domainOf {
 		pr.owned[d] = append(pr.owned[d], i)
 	}
+	pr.rehome = pr.rehome[:0]
+	for d := range pr.doms {
+		pd := &pr.doms[d]
+		pr.rehome = append(pr.rehome, pd.del...)
+		pd.del = pd.del[:0]
+	}
+	if len(pr.rehome) > 0 {
+		sort.Sort(delByAtSeq(pr.rehome))
+		for _, it := range pr.rehome {
+			pr.doms[pr.domainOf[it.rid]].pushDel(it)
+		}
+	}
+	pr.snapAt = at
+	pr.snapped = true
+}
+
+// ensureSnapshot refreshes the ownership snapshot when the current one has
+// aged past one window — the bound under which snapshot assignments plus
+// the guard halo still cover every receiver. Mid-window work is always
+// within one window of the window-start snapshot; this only fires for
+// fence-time flood transmits after skipped (workless) windows.
+func (pr *parRun) ensureSnapshot(at float64) {
+	if pr.snapped && at <= pr.snapAt+pr.window {
+		return
+	}
+	pr.snapshot(at)
+}
+
+// dispatchTo generates the records of every beacon (or reactive round) due
+// up to H, merges the new batch into (time, sender) order, and queues each
+// record to every domain its halo disc can reach.
+func (pr *parRun) dispatchTo(H float64, incl bool) {
+	if !parDue(pr.nextDue, H, incl) {
+		return
+	}
+	nw := pr.nw
+	batch := len(pr.records)
+	if pr.reactive {
+		// At most ONE round per dispatch: each round appends a settle pass
+		// 0.05 s later, and that settle must observe exactly this round's
+		// advertisements — dispatching a second round here would overwrite
+		// advertisedPos/version before the pending settle reads them. The
+		// window loop re-enters for later rounds after the settle fires.
+		if parDue(pr.nextRound, H, incl) {
+			at := pr.nextRound
+			pr.round++
+			for _, nd := range nw.nodes {
+				if nw.ch != nil && nd.isDown(at) {
+					continue // channel churn: a failed node misses its round
+				}
+				pos := pr.cur.PositionAt(nd.id, at)
+				nd.version = pr.round
+				nd.advertisedPos = pos
+				nd.advertisedAt = at
+				nw.helloTx++
+				nw.helloEnergy++
+				pr.records = append(pr.records, helloRecord{at: at, sender: nd.id, truePos: pos,
+					msg: hello.Message{From: nd.id, Pos: pos, SentAt: at, Version: pr.round}})
+			}
+			pr.settles = append(pr.settles, settleItem{at: at + reactiveSettle, ver: pr.round})
+			pr.nextRound += pr.roundIvl
+		}
+		pr.nextDue = pr.nextRound
+	} else {
+		pr.nextDue = math.Inf(1)
+		for i, nd := range nw.nodes {
+			at := pr.nextHello[i]
+			for parDue(at, H, incl) {
+				if !nd.isDown(at) {
+					pr.appendRecord(nd, at)
+				}
+				at += nd.interval
+			}
+			pr.nextHello[i] = at
+			if at < pr.nextDue {
+				pr.nextDue = at
+			}
+		}
+	}
+	// Deterministic merge of the new batch: records execute in
+	// (time, sender) order — the serial event order, since each sender
+	// beacons at most once per instant. Batches are time-disjoint (each
+	// starts past the previous horizon), so the whole array stays sorted.
+	pr.sortBase = batch
+	sort.Sort(pr)
 	side := pr.grid.Side()
-	for ri := range pr.records {
+	for ri := batch; ri < len(pr.records); ri++ {
 		rec := &pr.records[ri]
 		// Every domain the halo disc intersects sees the record; owners of
 		// true receivers are always inside (halo-containment property,
@@ -246,7 +520,6 @@ func (pr *parRun) runWindow(start, end float64, incl bool) {
 			}
 		}
 	}
-	pr.pool.Barrier()
 }
 
 // appendRecord performs the sender side of one beacon — the exact
@@ -275,62 +548,405 @@ func (pr *parRun) appendRecord(nd *node, at float64) {
 	pr.records = append(pr.records, helloRecord{at: at, sender: nd.id, truePos: pos, msg: msg})
 }
 
-// sort.Interface over records: (time, sender) ascending. Each sender
-// beacons at most once per instant, so the order is total.
-func (pr *parRun) Len() int { return len(pr.records) }
+// sort.Interface over records[sortBase:]: (time, sender) ascending.
+func (pr *parRun) Len() int { return len(pr.records) - pr.sortBase }
 func (pr *parRun) Swap(i, j int) {
+	i, j = i+pr.sortBase, j+pr.sortBase
 	pr.records[i], pr.records[j] = pr.records[j], pr.records[i]
 }
 func (pr *parRun) Less(i, j int) bool {
-	a, b := &pr.records[i], &pr.records[j]
+	a, b := &pr.records[i+pr.sortBase], &pr.records[j+pr.sortBase]
 	if a.at != b.at { //lint:ignore float-eq exact compare orders records; equal instants fall through to sender id
 		return a.at < b.at
 	}
 	return a.sender < b.sender
 }
 
-// processDomain drains one domain's record queue — the per-worker unit of
-// a barrier. Everything it writes is owned by this domain: receiver tables
-// and loss chains of owned nodes, and the selection state of owned
-// senders.
+// segment runs one barrier pass draining every domain timeline (queued
+// records + deferred receptions) up to H, then advances the dispatcher's
+// processed-record cursor past the same horizon.
+func (pr *parRun) segment(H float64, incl bool) {
+	pr.segH, pr.segIncl = H, incl
+	pr.mode = modeSegment
+	pr.pool.Barrier()
+	for pr.gRec < len(pr.records) && parDue(pr.records[pr.gRec].at, H, incl) {
+		pr.gRec++
+	}
+}
+
+// settlePass runs the next reactive settle as one barrier pass: every
+// domain re-selects its owned nodes from the round's version. Ownership
+// staleness is irrelevant here — any partition visits each node exactly
+// once — so no snapshot refresh is needed.
+func (pr *parRun) settlePass() {
+	s := pr.settles[pr.setIdx]
+	pr.setIdx++
+	pr.setAt, pr.setVer = s.at, s.ver
+	pr.mode = modeSettle
+	pr.pool.Barrier()
+	pr.mode = modeSegment
+}
+
+// floodStep resolves the earliest pending flood reception — the serial
+// delivery.Act sequence: acceptance, count, self-pruning cover check, then
+// the forward transmit. Runs on the dispatcher; the transmit's receiver
+// scan is the only parallel part.
+func (pr *parRun) floodStep() {
+	it := pr.popFlood()
+	nw := pr.nw
+	fl, rid, at := it.fl, it.rid, it.at
+	if fl.accepted[rid] || nw.nodes[rid].isDown(at) {
+		return
+	}
+	fl.accepted[rid] = true
+	fl.count++
+	if it.cover != nil && !nw.coversNew(rid, at, it.cover) {
+		return // self-pruned: everything we reach was covered
+	}
+	pr.floodTransmit(fl, rid, at)
+}
+
+// floodTransmit is one node's broadcast of the flood packet on the
+// parallel engine — the serial transmit with the receiver loop replaced by
+// a scan barrier. Sender-side work (selection, counters, cover capture)
+// runs serially on the dispatcher through the network's own selection
+// context, exactly as the serial engine's transmit would at this instant.
+func (pr *parRun) floodTransmit(fl *flood, sender int, now float64) {
+	nw := pr.nw
+	nd := nw.nodes[sender]
+	if nd.isDown(now) {
+		return // failed between acceptance and forward
+	}
+	if fl.pin > 0 {
+		nw.selectAsOf(nd, now, fl.pin)
+	} else if nw.cfg.Mech.ViewSync {
+		nw.updateSelection(nd, now, nd.advertisedPos)
+	}
+	nw.dataTx++
+	nw.dataEnergy += energyOf(nd.txRange/nw.cfg.NormalRange, nw.cfg.EnergyAlpha)
+	var cover map[int]bool
+	if nw.cfg.Mech.SelfPruning {
+		nw.msgBuf = nd.table.LatestInto(nw.msgBuf[:0], now)
+		cover = make(map[int]bool, len(nw.msgBuf)+1)
+		cover[sender] = true
+		for _, m := range nw.msgBuf {
+			cover[m.From] = true
+		}
+	}
+	r := nd.txRange
+	if r <= 0 {
+		return // matches the radio's empty receiver set for r <= 0
+	}
+	pr.ensureSnapshot(now)
+	pr.scanFl, pr.scanSender, pr.scanAt = fl, sender, now
+	pr.scanPos = nw.med.PositionAt(sender, now)
+	pr.scanR2 = r * r
+	pr.scanX0, pr.scanY0, pr.scanX1, pr.scanY1 = pr.grid.HaloBounds(pr.scanPos, r+pr.grid.Guard())
+	pr.mode = modeFloodScan
+	pr.pool.Barrier()
+	pr.mode = modeSegment
+	// Merge the outboxes in ascending receiver order — the serial
+	// per-transmit schedule order — and push onto the global heap with
+	// transmit-monotone sequence numbers.
+	pr.fmerge = pr.fmerge[:0]
+	for d := range pr.doms {
+		pr.fmerge = append(pr.fmerge, pr.doms[d].fout...)
+		pr.doms[d].fout = pr.doms[d].fout[:0]
+	}
+	sortFloodOutByRid(pr.fmerge)
+	for _, o := range pr.fmerge {
+		pr.fseq++
+		pr.pushFlood(floodItem{at: o.at, seq: pr.fseq, rid: o.rid, fl: fl, cover: cover})
+	}
+}
+
+// processDomain runs one domain's share of the current barrier pass.
+//
 //manet:noalloc
 func (pr *parRun) processDomain(d int) {
 	pd := &pr.doms[d]
-	for _, ri := range pr.queues[d] {
-		pr.processRecord(pd, d, &pr.records[ri])
+	switch pr.mode {
+	case modeSettle:
+		pr.processSettle(pd, d)
+	case modeFloodScan:
+		pr.processFloodScan(pd, d)
+	default:
+		pr.processSegment(pd, d)
+	}
+}
+
+// processSegment drains one domain's timeline — queued beacon records and
+// deferred receptions, merged in time order — up to the segment horizon.
+// Equal instants resolve records first (the serial scheduling order for
+// same-instant creations; any other collision is measure-zero).
+//
+//manet:noalloc
+func (pr *parRun) processSegment(pd *domainCtx, d int) {
+	q := pr.queues[d]
+	for {
+		recOK := pd.qi < len(q)
+		delOK := len(pd.del) > 0
+		useDel := delOK && (!recOK || pd.del[0].at < pr.records[q[pd.qi]].at)
+		switch {
+		case useDel:
+			if !parDue(pd.del[0].at, pr.segH, pr.segIncl) {
+				return
+			}
+			it := pd.popDel()
+			if !pr.nw.nodes[it.rid].isDown(it.at) {
+				pr.nw.nodes[it.rid].table.Observe(it.msg)
+			}
+		case recOK:
+			ri := int(q[pd.qi])
+			if !parDue(pr.records[ri].at, pr.segH, pr.segIncl) {
+				return
+			}
+			pd.qi++
+			pr.processRecord(pd, d, ri)
+		default:
+			return
+		}
 	}
 }
 
 // processRecord delivers one beacon inside one domain: exact-distance
 // receiver scan over the owned nodes (bit-identical to the serial radio's
-// filter), per-receiver loss chains in ascending-id order (the serial
-// FilterLost order restricted to this domain — chains are per-receiver, so
-// the restriction changes nothing), table observes, and the sender's
-// re-selection in its owner domain.
+// filter), the keyed radio loss draw, per-receiver channel loss chains in
+// ascending-id order (the serial FilterLost order restricted to this
+// domain — chains are per-receiver, so the restriction changes nothing),
+// then synchronous delivery, deferral onto the domain heap (channel
+// delay), or the reactive ideal path — and the sender's re-selection in
+// its owner domain.
+//
 //manet:noalloc
-func (pr *parRun) processRecord(pd *domainCtx, d int, rec *helloRecord) {
+func (pr *parRun) processRecord(pd *domainCtx, d int, ri int) {
 	nw := pr.nw
+	rec := &pr.records[ri]
 	pd.recv = pd.recv[:0]
 	for _, v := range pr.owned[d] {
 		if v == rec.sender {
 			continue
 		}
-		if pd.cur.PositionAt(v, rec.at).Dist2(rec.truePos) <= pr.r2 {
-			pd.recv = append(pd.recv, v)
+		if pd.cur.PositionAt(v, rec.at).Dist2(rec.truePos) > pr.r2 {
+			continue
 		}
+		if nw.med.LostAt(rec.at, rec.sender, v) {
+			continue
+		}
+		pd.recv = append(pd.recv, v)
 	}
 	recv := pd.recv
 	if nw.ch.LossEnabled() {
-		// Chains advance for every in-range receiver, down or not — the
-		// serial Transmit does the same before the isDown delivery check.
+		// Chains advance for every in-range radio-surviving receiver, down
+		// or not — the serial Transmit does the same before the isDown
+		// delivery check.
+		recv = nw.ch.FilterLost(recv)
+	}
+	switch {
+	case nw.ch.DelayEnabled():
+		sent := math.Float64bits(rec.msg.SentAt)
+		base := pr.windowSeq<<40 | uint64(ri)<<20
+		for _, rid := range recv {
+			pd.pushDel(delItem{
+				at:  rec.at + nw.ch.HelloDelay(rec.sender, rid, sent),
+				seq: base | uint64(rid),
+				rid: rid,
+				msg: rec.msg,
+			})
+		}
+	case pr.reactive && nw.ch == nil:
+		// Ideal-channel reactive rounds deliver unconditionally — the
+		// serial scheme's original synchronous path has no receiver
+		// down-check.
+		for _, rid := range recv {
+			nw.nodes[rid].table.Observe(rec.msg)
+		}
+	default:
+		for _, rid := range recv {
+			if !nw.nodes[rid].isDown(rec.at) {
+				nw.nodes[rid].table.Observe(rec.msg)
+			}
+		}
+	}
+	if !pr.reactive && pr.domainOf[rec.sender] == d {
+		pd.sel.updateSelection(nw.nodes[rec.sender], rec.at, rec.msg.Pos)
+	}
+}
+
+// processSettle re-selects this domain's owned nodes from the settling
+// round's version — the serial settle event partitioned by owner.
+//
+//manet:noalloc
+func (pr *parRun) processSettle(pd *domainCtx, d int) {
+	for _, v := range pr.owned[d] {
+		pd.sel.selectFromVersion(pr.nw.nodes[v], pr.setAt, pr.setVer)
+	}
+}
+
+// processFloodScan emits this domain's accepting receivers for the current
+// flood transmit: the same exact-distance + keyed-loss + loss-chain filter
+// as a beacon scan, then the forwarding-rule checks of the serial
+// transmit's receiver loop, with each survivor's keyed delivery delay.
+//
+//manet:noalloc
+func (pr *parRun) processFloodScan(pd *domainCtx, d int) {
+	pd.fout = pd.fout[:0]
+	side := pr.grid.Side()
+	if ix, iy := d%side, d/side; ix < pr.scanX0 || ix > pr.scanX1 || iy < pr.scanY0 || iy > pr.scanY1 {
+		return // outside the sender's halo box: no owned node can receive
+	}
+	nw := pr.nw
+	fl, sender, at := pr.scanFl, pr.scanSender, pr.scanAt
+	snd := nw.nodes[sender]
+	pd.recv = pd.recv[:0]
+	for _, v := range pr.owned[d] {
+		if v == sender {
+			continue
+		}
+		if pd.cur.PositionAt(v, at).Dist2(pr.scanPos) > pr.scanR2 {
+			continue
+		}
+		if nw.med.LostAt(at, sender, v) {
+			continue
+		}
+		pd.recv = append(pd.recv, v)
+	}
+	recv := pd.recv
+	if nw.ch.LossEnabled() {
 		recv = nw.ch.FilterLost(recv)
 	}
 	for _, rid := range recv {
-		if !nw.nodes[rid].isDown(rec.at) {
-			nw.nodes[rid].table.Observe(rec.msg)
+		if fl.accepted[rid] {
+			continue
 		}
+		if !nw.cfg.Mech.PhysicalNeighbors && !snd.isLogical[rid] {
+			continue // dropped at the topology layer
+		}
+		pd.fout = append(pd.fout, floodOut{at: at + nw.floodDelay(fl, sender, rid, 0), rid: rid})
 	}
-	if pr.domainOf[rec.sender] == d {
-		pd.sel.updateSelection(nw.nodes[rec.sender], rec.at, rec.msg.Pos)
+}
+
+// delByAtSeq sorts deferred receptions by (at, seq) — the serial delivery
+// order — for deterministic snapshot re-homing.
+type delByAtSeq []delItem
+
+func (s delByAtSeq) Len() int      { return len(s) }
+func (s delByAtSeq) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s delByAtSeq) Less(i, j int) bool {
+	if s[i].at != s[j].at { //lint:ignore float-eq exact compare orders deliveries; equal instants fall through to the scheduling sequence
+		return s[i].at < s[j].at
+	}
+	return s[i].seq < s[j].seq
+}
+
+// pushDel pushes one deferred reception onto the domain's (at, seq) heap.
+//
+//manet:noalloc
+func (pd *domainCtx) pushDel(it delItem) {
+	h := append(pd.del, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !delLess(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	pd.del = h
+}
+
+// popDel pops the earliest deferred reception.
+//
+//manet:noalloc
+func (pd *domainCtx) popDel() delItem {
+	h := pd.del
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && delLess(&h[l], &h[m]) {
+			m = l
+		}
+		if r < len(h) && delLess(&h[r], &h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	pd.del = h
+	return top
+}
+
+//manet:noalloc
+func delLess(a, b *delItem) bool {
+	if a.at != b.at { //lint:ignore float-eq exact compare orders deliveries; equal instants fall through to the scheduling sequence
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// pushFlood pushes one flood reception onto the global (at, seq) heap.
+func (pr *parRun) pushFlood(it floodItem) {
+	h := append(pr.fheap, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !floodLess(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	pr.fheap = h
+}
+
+// popFlood pops the earliest flood reception.
+func (pr *parRun) popFlood() floodItem {
+	h := pr.fheap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = floodItem{} // drop the flood/cover references
+	h = h[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && floodLess(&h[l], &h[m]) {
+			m = l
+		}
+		if r < len(h) && floodLess(&h[r], &h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	pr.fheap = h
+	return top
+}
+
+func floodLess(a, b *floodItem) bool {
+	if a.at != b.at { //lint:ignore float-eq exact compare orders deliveries; equal instants fall through to the scheduling sequence
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// sortFloodOutByRid is an allocation-free insertion sort for the small
+// per-transmit outbox merge (receiver ids are unique across domains).
+func sortFloodOutByRid(a []floodOut) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].rid < a[j-1].rid; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
 	}
 }

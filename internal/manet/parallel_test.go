@@ -108,6 +108,73 @@ func TestParallelMatchesSerialMatrix(t *testing.T) {
 			},
 		},
 		{
+			// Non-ideal channel delay: every reception defers by its own
+			// bounded random delay, so the parallel engine must drain the
+			// per-domain delivery heaps (including re-homing pending items
+			// across ownership snapshots) bit-identically to the serial
+			// actor schedule. Churn forces delivery-time down-checks.
+			name: "delayed",
+			cfg: func() Config {
+				c := Config{
+					Protocol: topology.RNG{}, FloodRate: 5, Seed: 19,
+				}
+				c.Channel.Delay = channel.DelayConfig{Min: 0.01, Max: 0.4}
+				c.Channel.Churn = channel.ChurnConfig{MeanUp: 6, MeanDown: 1}
+				return c
+			}(),
+			full: true,
+		},
+		{
+			// Radio-medium loss (keyed per-reception draws) stacked with
+			// i.i.d. channel loss chains: both filters must resolve
+			// identically inside the domain scans and the serial receiver
+			// loops.
+			name: "lossy-radio",
+			cfg: func() Config {
+				c := Config{
+					Protocol: topology.SPT{Alpha: 2, Range: 250}, FloodRate: 5,
+					Mech: Mechanisms{Buffer: 10, ViewSync: true}, Seed: 23,
+				}
+				c.Radio.LossRate = 0.15
+				c.Channel.Loss = channel.LossConfig{Model: channel.Bernoulli, Rate: 0.1}
+				return c
+			}(),
+			full: true,
+		},
+		{
+			// Reactive strong-consistency rounds on the ideal channel:
+			// synchronized beacons plus settle passes a fixed offset later.
+			name: "reactive",
+			cfg: Config{
+				Protocol: topology.RNG{}, FloodRate: 5,
+				Mech: Mechanisms{Reactive: true, Buffer: 10}, Seed: 29,
+			},
+			full: true,
+		},
+		{
+			// Reactive rounds on a faulty channel: down nodes skip their
+			// round, receptions defer through the delivery heaps, and the
+			// settle passes must still read each round's advertisements.
+			// The delay bound deliberately STRADDLES the 0.05 s settle
+			// offset: part of each round's deliveries must land after its
+			// settle pass, so a parallel drain that runs ahead of a
+			// freshly appended settle (or a dispatch that fires two rounds
+			// before the first one's settle) diverges here. Delays capped
+			// below the offset once masked exactly that bug.
+			name: "reactive-faulty",
+			cfg: func() Config {
+				c := Config{
+					Protocol: topology.RNG{}, FloodRate: 5,
+					Mech: Mechanisms{Reactive: true}, Seed: 31,
+				}
+				c.Channel.Delay = channel.DelayConfig{Min: 0.01, Max: 0.15}
+				c.Channel.Loss = channel.LossConfig{Model: channel.GilbertElliott, Rate: 0.2, MeanBurst: 4}
+				c.Channel.Churn = channel.ChurnConfig{MeanUp: 8, MeanDown: 1}
+				return c
+			}(),
+			full: true,
+		},
+		{
 			// Weak consistency end to end. The first engine fence sits at
 			// 2·HelloMax = 2.5 s while hello intervals are ≈1 s and every
 			// grid's synchronization window exceeds that gap, so nodes
@@ -201,9 +268,13 @@ func TestSelectWeakUsesCallerSelfPos(t *testing.T) {
 	}
 }
 
-// TestParallelFallbackConfigs pins the automatic serial fallback: features
-// the region-parallel engine does not support must still run (on the serial
-// path) and produce results identical to Domains = 0.
+// TestParallelFallbackConfigs pins the automatic serial fallback. Exactly
+// two features remain unsupported by the region-parallel engine — the
+// collision MAC (cross-domain jamming state) and CDS forwarding (a global
+// marking recomputed at snapshot fences) — and they must still run, on the
+// serial path, producing results identical to Domains = 0. If a config
+// below ever becomes parallel-eligible, this test fails so the eligibility
+// table in DESIGN.md and the differential matrix get extended first.
 func TestParallelFallbackConfigs(t *testing.T) {
 	const dur = 6.0
 	model := parWaypoint(t, 40, 10, dur, 99)
@@ -211,9 +282,8 @@ func TestParallelFallbackConfigs(t *testing.T) {
 		name   string
 		mutate func(*Config)
 	}{
-		{"channel-delay", func(c *Config) { c.Channel.Delay = channel.DelayConfig{Max: 0.05} }},
-		{"reactive", func(c *Config) { c.Mech.Reactive = true }},
 		{"collision-mac", func(c *Config) { c.Radio.TxDuration = 0.001 }},
+		{"cds-forward", func(c *Config) { c.Mech.CDSForward, c.Mech.PhysicalNeighbors = true, true }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -238,6 +308,61 @@ func TestParallelFallbackConfigs(t *testing.T) {
 			}
 			if got := runDigest(t, model, cfg, dur); got != want {
 				t.Errorf("%s: fallback digest %s != serial %s", tc.name, got[:16], want[:16])
+			}
+		})
+	}
+}
+
+// TestParallelEligibility pins the eligibility frontier in BOTH directions:
+// every feature the engine supports must report eligible (a regression here
+// silently degrades every benchmark and smoke run to serial), and the two
+// documented fallbacks must not. TestParallelMatchesSerialMatrix proves the
+// eligible set correct; this test proves it does not shrink.
+func TestParallelEligibility(t *testing.T) {
+	model := parWaypoint(t, 20, 10, 4, 5)
+	cases := []struct {
+		name     string
+		mutate   func(*Config)
+		eligible bool
+	}{
+		{"ideal", func(c *Config) {}, true},
+		{"channel-delay", func(c *Config) { c.Channel.Delay = channel.DelayConfig{Max: 0.05} }, true},
+		{"channel-loss-bernoulli", func(c *Config) { c.Channel.Loss = channel.LossConfig{Model: channel.Bernoulli, Rate: 0.2} }, true},
+		{"channel-loss-ge", func(c *Config) {
+			c.Channel.Loss = channel.LossConfig{Model: channel.GilbertElliott, Rate: 0.2, MeanBurst: 4}
+		}, true},
+		{"channel-churn", func(c *Config) { c.Channel.Churn = channel.ChurnConfig{MeanUp: 6, MeanDown: 1} }, true},
+		{"radio-loss", func(c *Config) { c.Radio.LossRate = 0.1 }, true},
+		{"radio-delay", func(c *Config) { c.Radio.Delay = 0.001 }, true},
+		{"reactive", func(c *Config) { c.Mech.Reactive = true }, true},
+		{"reactive-faulty", func(c *Config) {
+			c.Mech.Reactive = true
+			c.Channel.Delay = channel.DelayConfig{Max: 0.05}
+			c.Channel.Churn = channel.ChurnConfig{MeanUp: 6, MeanDown: 1}
+		}, true},
+		{"mechanisms", func(c *Config) {
+			c.Mech = Mechanisms{Buffer: 10, ViewSync: true, PhysicalNeighbors: true, Proactive: true, SelfPruning: true}
+		}, true},
+		{"weak", func(c *Config) {
+			c.Protocol, c.Weak = nil, topology.WeakRNG{}
+			c.Mech.WeakK = 3
+		}, true},
+		{"collision-mac", func(c *Config) { c.Radio.TxDuration = 0.001 }, false},
+		{"cds-forward", func(c *Config) { c.Mech.CDSForward, c.Mech.PhysicalNeighbors = true, true }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{
+				Protocol: topology.RNG{}, FloodRate: 5, Seed: 3,
+				Domains: 2, ParallelWorkers: 2,
+			}
+			tc.mutate(&cfg)
+			nw, err := NewNetwork(model, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := nw.parallelEligible(); got != tc.eligible {
+				t.Errorf("parallelEligible() = %v, want %v", got, tc.eligible)
 			}
 		})
 	}

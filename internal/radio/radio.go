@@ -27,6 +27,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 
 	"mstc/internal/channel"
 	"mstc/internal/geom"
@@ -251,20 +252,33 @@ func (m *Medium) ReceiversAt(t float64, sender int, r float64, dst []int) []int 
 		}
 	}
 	// Candidates arrive in cell-scan order; restore the ascending-id
-	// contract on the (smaller) filtered set. Sorting after filtering also
-	// keeps the loss process below consuming randomness in id order, the
-	// same order a sorted candidate scan would have produced.
+	// contract on the (smaller) filtered set.
 	sortInts(dst[start:])
 	if m.cfg.LossRate > 0 {
 		kept := dst[start:start]
 		for _, id := range dst[start:] {
-			if m.rng.Float64() >= m.cfg.LossRate {
+			if !m.LostAt(t, sender, id) {
 				kept = append(kept, id)
 			}
 		}
 		dst = dst[:start+len(kept)]
 	}
 	return dst
+}
+
+// LostAt reports whether receiver id's copy of a transmission by sender at
+// instant t is dropped by the medium's loss process (Config.LossRate).
+// Loss is a pure function of (t, sender, id): the draw comes from a
+// substream keyed by the exact float bits of t plus both endpoints, so any
+// engine — and any evaluation order — resolves the same reception the same
+// way. Safe for concurrent use: deriving never advances the medium's loss
+// source, and no other medium state is touched.
+func (m *Medium) LostAt(t float64, sender, id int) bool {
+	if m.cfg.LossRate <= 0 {
+		return false
+	}
+	d := m.rng.Derive('t', math.Float64bits(t), uint64(sender), uint64(id))
+	return d.Float64() < m.cfg.LossRate
 }
 
 // sortInts is an allocation-free insertion sort for the small per-query

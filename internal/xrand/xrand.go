@@ -53,7 +53,15 @@ func New(seed uint64) *Source {
 // NewStream returns a Source seeded from seed on the given stream. Distinct
 // streams with the same seed are statistically independent.
 func NewStream(seed, stream uint64) *Source {
-	s := &Source{
+	s := new(Source)
+	*s = makeStream(seed, stream)
+	return s
+}
+
+// makeStream is the by-value NewStream body, shared with Derive so the
+// value and pointer construction paths cannot drift.
+func makeStream(seed, stream uint64) Source {
+	s := Source{
 		inc: stream<<1 | 1,
 		// The identity must incorporate *both* seed and stream so Sub
 		// derivations differ whenever either does.
@@ -79,13 +87,27 @@ func mix64(z uint64) uint64 {
 // parameters (seed and stream) and the labels — never on how many values
 // the parent has drawn — and Sub does not advance the parent.
 func (s *Source) Sub(labels ...uint64) *Source {
+	sub := s.Derive(labels...)
+	return &sub
+}
+
+// Derive is Sub by value: it returns exactly the substream Sub would for
+// the same labels, but as a Source value, so hot paths can make keyed
+// draws without a heap allocation — the returned value and the variadic
+// label slice both stay on the caller's stack (Derive never retains
+// labels). Because the derivation is pure and Derive does not advance the
+// parent, concurrent Derive calls on one shared parent are safe as long
+// as nothing draws from that parent. The labeling discipline enforced by
+// manetlint's substream analyzer applies to Derive sites exactly as to
+// Sub sites.
+func (s *Source) Derive(labels ...uint64) Source {
 	seed := mix64(s.id)
 	stream := mix64(s.id + smGamma)
 	for _, l := range labels {
 		seed = mix64(seed + smGamma + l)
 		stream = mix64(stream ^ (l + smGamma))
 	}
-	return NewStream(seed, stream)
+	return makeStream(seed, stream)
 }
 
 // Uint32 returns a uniformly distributed 32-bit value and advances the state.
