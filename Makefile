@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-json check bench bench-compare faults-smoke resume-smoke parallel-smoke
+.PHONY: build test race vet lint lint-json check bench bench-compare faults-smoke resume-smoke parallel-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,36 @@ parallel-smoke:
 	$(GO) run ./cmd/paperfig $(FAULTFLAGS) > /tmp/par_faults_serial.txt
 	$(GO) run ./cmd/paperfig $(FAULTFLAGS) -domains 2 -engine-workers 4 > /tmp/par_faults_domains.txt
 	cmp /tmp/par_faults_serial.txt /tmp/par_faults_domains.txt
+
+# Distributed-sweep smoke: a sweepd coordinator hands the same quick fig6
+# sweep to two sweepworkers over HTTP; one worker is SIGKILLed mid-lease
+# (its leased tasks are stolen after -lease-ttl and recomputed by the
+# survivor), and the finished fleet store must be sha256-identical,
+# record for record, to a single-process `paperfig -store` sweep — the
+# lease/steal/duplicate machinery may cost time but never bytes.
+FLEET := /tmp/mstc_fleet_smoke
+fleet-smoke:
+	rm -rf $(FLEET) && mkdir -p $(FLEET)
+	$(GO) build -o $(FLEET)/sweepd ./cmd/sweepd
+	$(GO) build -o $(FLEET)/sweepworker ./cmd/sweepworker
+	$(GO) build -o $(FLEET)/paperfig ./cmd/paperfig
+	set -e; \
+	$(FLEET)/sweepd $(PFLAGS) -store $(FLEET)/fleet -addr 127.0.0.1:0 \
+		-addr-file $(FLEET)/addr -lease-ttl 3s -exit-on-done 2> $(FLEET)/sweepd.log & \
+	SWEEPD=$$!; \
+	for i in $$(seq 100); do test -s $(FLEET)/addr && break; sleep 0.1; done; \
+	ADDR=$$(cat $(FLEET)/addr); \
+	$(FLEET)/sweepworker -url http://$$ADDR -name doomed 2> $(FLEET)/doomed.log & \
+	DOOMED=$$!; \
+	sleep 0.4; kill -9 $$DOOMED 2> /dev/null || true; \
+	$(FLEET)/sweepworker -url http://$$ADDR -name survivor 2> $(FLEET)/survivor.log & \
+	SURVIVOR=$$!; \
+	wait $$SWEEPD; \
+	wait $$SURVIVOR
+	$(FLEET)/paperfig $(PFLAGS) -store $(FLEET)/direct > /dev/null
+	cd $(FLEET)/fleet  && find runs -type f | sort | xargs sha256sum > $(FLEET)/fleet.sum
+	cd $(FLEET)/direct && find runs -type f | sort | xargs sha256sum > $(FLEET)/direct.sum
+	cmp $(FLEET)/fleet.sum $(FLEET)/direct.sum
 
 # Gate the hot path against the committed baseline trajectory: three
 # repetitions of BenchmarkSingleRun, compared by minimum ns/op; fails on a

@@ -18,6 +18,12 @@
 //	paperfig -exp fig7 -store s1 -shard 1/2  # machine B the other half
 //	sweepctl merge -into merged s0 s1
 //	paperfig -exp fig7 -store merged -resume # render, zero recomputation
+//
+// Or let a sweepd coordinator hand out the work (see cmd/sweepd):
+//
+//	sweepd -exp fig7 -store runs/ &
+//	paperfig -worker http://127.0.0.1:7070  # on every spare machine
+//	paperfig -exp fig7 -store runs/ -resume # render, zero recomputation
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 
 	"mstc/internal/channel"
 	"mstc/internal/experiment"
+	"mstc/internal/fleet"
 	"mstc/internal/profiling"
 	"mstc/internal/sweep"
 )
@@ -227,10 +234,32 @@ func main() {
 		shardSpec = flag.String("shard", "", "compute only slice i of n ('i/n'); requires -store, skips figure rendering")
 		maxRuns   = flag.Int("maxruns", 0, "stop gracefully after computing this many runs (0 = unlimited); exits 130 like an interrupt")
 		retries   = flag.Int("retries", 1, "extra attempts for a run that panics before journaling it as failed")
+		workerURL = flag.String("worker", "", "run as a sweep-fleet worker for this coordinator URL (see cmd/sweepd); most other flags are ignored")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Worker mode: the coordinator supplies the options and the task set,
+	// so everything but the engine knobs is ignored.
+	if *workerURL != "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "paperfig"
+		}
+		w := &fleet.Worker{
+			URL:           *workerURL,
+			Name:          fmt.Sprintf("%s-%d", host, os.Getpid()),
+			Sleep:         time.Sleep, //lint:ignore no-wallclock idle backoff between lease polls; pacing only, never reaches results
+			Logf:          log.Printf,
+			Domains:       *domains,
+			EngineWorkers: *engWork,
+		}
+		if err := w.Run(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	// Resolve -exp against the registry up front: a typo must not start a
 	// multi-hour sweep of everything else first.

@@ -2,7 +2,7 @@
 // content-addressed run journals cmd/paperfig writes with -store; see
 // internal/sweep).
 //
-//	sweepctl status <store>...                 record/failure/corrupt counts, checkpoint, summary
+//	sweepctl status [-json] <store>...         record/failure/corrupt counts, checkpoint, summary
 //	sweepctl merge -into <dst> <src>...        combine shard stores into one
 //	sweepctl verify <store>...                 re-verify every checksum; exit 1 on corruption
 //	sweepctl gc [-fingerprint <fp>] <store>... drop tmp files, failures, corrupt (and foreign) records
@@ -17,11 +17,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"mstc/internal/fleet"
 	"mstc/internal/stats"
 	"mstc/internal/sweep"
 )
@@ -49,7 +51,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  sweepctl status <store>...
+  sweepctl status [-json] <store>...
   sweepctl merge -into <dst> <src>...
   sweepctl verify <store>...
   sweepctl gc [-fingerprint <fp>] <store>...`)
@@ -76,9 +78,29 @@ type fpStats struct {
 func cmdStatus(args []string) {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	failures := fs.Int("failures", 3, "failure records to detail per fingerprint")
+	jsonOut := fs.Bool("json", false, "machine-readable output (the same summary encoding sweepd serves at /status)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		usage()
+	}
+	if *jsonOut {
+		// One StoreSummary per store, via the shared fleet encoding — a
+		// dashboard parses identical shapes from an offline store and a
+		// live daemon.
+		var sums []fleet.StoreSummary
+		for _, dir := range fs.Args() {
+			sum, err := fleet.SummarizeStore(open(dir))
+			if err != nil {
+				log.Fatal(err)
+			}
+			sums = append(sums, sum)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sums); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	for _, dir := range fs.Args() {
 		s := open(dir)
@@ -133,7 +155,13 @@ func cmdStatus(args []string) {
 			}
 			fmt.Println()
 		}
-		if cp, ok := s.ReadCheckpoint(); ok {
+		cp, ok, cperr := s.ReadCheckpoint()
+		if cperr != nil {
+			// Advisory file only — records are intact — but the operator
+			// should know it was damaged rather than see it vanish.
+			fmt.Printf("  WARNING: %v\n", cperr)
+		}
+		if ok {
 			state := "complete"
 			if cp.Interrupted {
 				state = "interrupted"

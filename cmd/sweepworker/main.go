@@ -1,0 +1,58 @@
+// Command sweepworker is a thin sweep-fleet worker: it fetches the job
+// spec from a sweepd coordinator, verifies the options fingerprint
+// against its own binary, then leases, computes, and posts back runs
+// until the sweep completes. It keeps no local state — kill it at any
+// time and its leased work is stolen after the lease TTL.
+//
+//	sweepd -exp fig6 -quick -store runs/ &
+//	sweepworker -url http://127.0.0.1:7070 -name $(hostname)
+//
+// paperfig -worker <url> does the same inside the main binary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mstc/internal/fleet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweepworker: ")
+
+	var (
+		url     = flag.String("url", "", "coordinator base URL (required), e.g. http://127.0.0.1:7070")
+		name    = flag.String("name", "", "worker name for status/events (default host-pid)")
+		domains = flag.Int("domains", 0, "per-run region-parallel engine: domains x domains spatial grid (0 = serial)")
+		engWork = flag.Int("engine-workers", 0, "per-run worker goroutines for -domains (results are bit-identical to serial)")
+	)
+	flag.Parse()
+	if *url == "" {
+		log.Print("-url is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	w := &fleet.Worker{
+		URL:           *url,
+		Name:          *name,
+		Sleep:         time.Sleep, //lint:ignore no-wallclock idle backoff between lease polls; pacing only, never reaches results
+		Logf:          log.Printf,
+		Domains:       *domains,
+		EngineWorkers: *engWork,
+	}
+	if err := w.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

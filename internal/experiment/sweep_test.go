@@ -120,8 +120,8 @@ func TestInterruptResumeBitIdentical(t *testing.T) {
 	if got := computed.Load(); got != 3 {
 		t.Fatalf("interrupted run computed %d runs, want 3", got)
 	}
-	if cp, ok := st.ReadCheckpoint(); !ok || !cp.Interrupted {
-		t.Errorf("drain did not flush an interrupted checkpoint (got %+v, %v)", cp, ok)
+	if cp, ok, err := st.ReadCheckpoint(); !ok || err != nil || !cp.Interrupted {
+		t.Errorf("drain did not flush an interrupted checkpoint (got %+v, %v, %v)", cp, ok, err)
 	}
 
 	resumed := o

@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"mstc/internal/sweep"
+)
+
+func TestTaskSetNamesAndErrors(t *testing.T) {
+	names := TaskSetNames()
+	if len(names) < 5 {
+		t.Fatalf("TaskSetNames = %v, suspiciously few", names)
+	}
+	for _, name := range names {
+		if _, err := TaskSet(name, QuickOptions()); err != nil {
+			t.Errorf("TaskSet(%q): %v", name, err)
+		}
+	}
+	if _, err := TaskSet("fig99", QuickOptions()); err == nil {
+		t.Error("unknown task set accepted")
+	}
+}
+
+func TestTaskSetFig6MatchesSweepEnumeration(t *testing.T) {
+	o := QuickOptions()
+	tasks, err := TaskSet("fig6", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(BaselineNames()) * len(o.Speeds) * o.Reps
+	if len(tasks) != want {
+		t.Fatalf("fig6 task set has %d runs, want %d", len(tasks), want)
+	}
+	// Same protocol-major, speed, rep nesting as Fig6's Sweep call.
+	i := 0
+	for _, p := range BaselineNames() {
+		for _, s := range o.Speeds {
+			for rep := 0; rep < o.Reps; rep++ {
+				r := tasks[i]
+				i++
+				if r.Protocol != p || r.Speed != s || r.Rep != rep || r.Mech != (tasks[0].Mech) {
+					t.Fatalf("task %d = %+v, want %s speed=%g rep=%d", i-1, r, p, s, rep)
+				}
+			}
+		}
+	}
+}
+
+func TestTaskSetAllDeduplicates(t *testing.T) {
+	o := QuickOptions()
+	all, err := TaskSet("all", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[sweep.Key]bool)
+	for _, r := range all {
+		k := sweep.Key{Run: r.ConfigKey(), Rep: r.Rep}
+		if seen[k] {
+			t.Fatalf("duplicate task in 'all': %s", r.Desc())
+		}
+		seen[k] = true
+	}
+	// The union must cover every named set.
+	for _, name := range TaskSetNames() {
+		if name == "all" {
+			continue
+		}
+		tasks, err := TaskSet(name, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tasks {
+			if !seen[sweep.Key{Run: r.ConfigKey(), Rep: r.Rep}] {
+				t.Fatalf("'all' missing %s task %s", name, r.Desc())
+			}
+		}
+	}
+}
+
+// TestTaskSetWarmsFigureRendering is the property the fleet daemon rests
+// on: executing a figure's task set into a store leaves the figure
+// itself renderable with zero recomputation.
+func TestTaskSetWarmsFigureRendering(t *testing.T) {
+	o := sweepTestOptions()
+	o.Reps = 2
+	o.Speeds = []float64{1, 40}
+	st := openStore(t)
+	o.Store = st
+
+	tasks, err := TaskSet("fig6", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(o, tasks); err != nil {
+		t.Fatal(err)
+	}
+
+	var recomputed atomic.Int64
+	o.Progress = func(done, total int) { recomputed.Add(1) }
+	fig, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recomputed.Load() != 0 {
+		t.Errorf("Fig6 over a task-set-warmed store recomputed %d runs, want 0", recomputed.Load())
+	}
+	if len(fig.Series) != len(BaselineNames()) {
+		t.Errorf("rendered figure has %d series, want %d", len(fig.Series), len(BaselineNames()))
+	}
+}
+
+func TestComputeRunMatchesExecutor(t *testing.T) {
+	o := sweepTestOptions()
+	tasks := []Run{
+		{Protocol: "RNG", Speed: 40, Rep: 1},
+		{Protocol: "MST", Speed: 1, Rep: 0},
+	}
+	want, err := Execute(o, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tasks {
+		got, attempts, err := ComputeRunRetry(o, r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attempts != 1 {
+			t.Errorf("attempts = %d, want 1", attempts)
+		}
+		if got != want[i] {
+			t.Errorf("ComputeRunRetry(%s) diverges from executor:\n got %+v\nwant %+v", r.Desc(), got, want[i])
+		}
+	}
+}
+
+func TestConfigDescElidesRep(t *testing.T) {
+	a := Run{Protocol: "RNG", Speed: 40, Rep: 0}
+	b := Run{Protocol: "RNG", Speed: 40, Rep: 7}
+	if a.ConfigDesc() != b.ConfigDesc() {
+		t.Errorf("ConfigDesc differs across reps: %q vs %q", a.ConfigDesc(), b.ConfigDesc())
+	}
+	if a.ConfigDesc() == a.Desc() {
+		t.Errorf("ConfigDesc still contains the rep: %q", a.ConfigDesc())
+	}
+}

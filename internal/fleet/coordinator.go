@@ -1,0 +1,701 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mstc/internal/experiment"
+	"mstc/internal/stats"
+	"mstc/internal/sweep"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Options are the sweep-wide experiment options (result-affecting
+	// fields feed the fingerprint and the JobSpec served to workers).
+	Options experiment.Options
+	// Tasks is the base task set. Store hits are resolved at
+	// construction; the rest is leased out.
+	Tasks []experiment.Run
+	// Store journals every completion; it must be non-nil.
+	Store *sweep.Store
+	// Clock supplies "now" for lease deadlines, liveness, and ETA.
+	Clock Clock
+	// LeaseTTL is how long a lease lives without a heartbeat or
+	// completion before its tasks are stolen. Default 60s.
+	LeaseTTL time.Duration
+	// LeaseBatch is the maximum tasks granted per lease. Small batches
+	// bound the work lost to a dead worker; default 4.
+	LeaseBatch int
+	// Retries is the per-run panic-retry budget advertised to workers.
+	Retries int
+	// TargetRelCI enables adaptive replication when positive: after a
+	// configuration's base reps are journaled, extra reps are issued one
+	// at a time while the group's relative CI95 over connectivity
+	// exceeds this target. 0 disables the policy (fixed -reps), which is
+	// what keeps a fleet store byte-identical to a single-process sweep
+	// of the same task set.
+	TargetRelCI float64
+	// MaxReps caps total reps per configuration under adaptive
+	// replication. Default 10× the group's base count.
+	MaxReps int
+}
+
+// taskState is the lease-protocol lifecycle of one task.
+type taskState uint8
+
+const (
+	taskPending taskState = iota
+	taskLeased
+	taskDone
+	taskFailed
+)
+
+type taskEntry struct {
+	run   experiment.Run
+	key   sweep.Key
+	desc  string
+	group uint64 // configuration substream key
+	state taskState
+	// extra marks adaptively issued repetitions (rep >= the group's
+	// base count).
+	extra bool
+}
+
+type lease struct {
+	id       uint64
+	worker   string
+	deadline time.Time
+	// tasks are the granted task indices still owned by this lease.
+	tasks []int
+}
+
+// configState tracks one configuration group for the stopping rule.
+type configState struct {
+	key  uint64
+	desc string
+	base int // reps in the base task set
+	// issued counts all reps issued (base + extras); the next extra rep
+	// index is exactly `issued`.
+	issued  int
+	done    int
+	failed  int
+	pending int // issued but not yet journaled (pending or leased)
+	conn    stats.Welford
+}
+
+// Coordinator is the lease-granting, store-owning sweep service. All
+// methods are safe for concurrent use (net/http serves each request on
+// its own goroutine); the single mutex is uncontended at fleet scale —
+// runs take seconds, requests take microseconds.
+type Coordinator struct {
+	mu sync.Mutex
+
+	opts        experiment.Options
+	fingerprint string
+	store       *sweep.Store
+	clock       Clock
+	ttl         time.Duration
+	batch       int
+	retries     int
+	targetRelCI float64
+	maxReps     int
+
+	tasks   []taskEntry
+	pending []int // task indices awaiting a lease, FIFO; stolen work re-queues at the front
+	leases  map[uint64]*lease
+	nextID  uint64
+
+	groups     map[uint64]*configState
+	groupOrder []uint64
+
+	workers map[string]bool
+	hits    int
+	done    int // journaled successes (store hits included)
+	failed  int
+	// computed counts worker-journaled completions (success or failure)
+	// this session; it drives ETA and checkpoint pacing.
+	computed int
+	started  bool
+	startAt  time.Time
+
+	complete bool
+	doneCh   chan struct{}
+
+	subs     map[*subscriber]bool
+	eventSeq uint64
+}
+
+// New builds a coordinator: it fingerprints the options, resolves store
+// hits for the base task set, and indexes the remainder for leasing.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("fleet: coordinator requires a result store")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("fleet: coordinator requires a clock")
+	}
+	if len(cfg.Tasks) == 0 {
+		return nil, fmt.Errorf("fleet: empty task set")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 60 * time.Second
+	}
+	if cfg.LeaseBatch <= 0 {
+		cfg.LeaseBatch = 4
+	}
+	c := &Coordinator{
+		opts:        cfg.Options,
+		fingerprint: cfg.Options.Fingerprint(),
+		store:       cfg.Store,
+		clock:       cfg.Clock,
+		ttl:         cfg.LeaseTTL,
+		batch:       cfg.LeaseBatch,
+		retries:     cfg.Retries,
+		targetRelCI: cfg.TargetRelCI,
+		maxReps:     cfg.MaxReps,
+		leases:      make(map[uint64]*lease),
+		groups:      make(map[uint64]*configState),
+		workers:     make(map[string]bool),
+		doneCh:      make(chan struct{}),
+		subs:        make(map[*subscriber]bool),
+	}
+	for _, r := range cfg.Tasks {
+		c.addTask(r, false)
+	}
+	if c.targetRelCI > 0 && c.maxReps == 0 {
+		// Default cap: an order of magnitude beyond the base reps of the
+		// largest group.
+		for _, g := range c.groupOrder {
+			if n := 10 * c.groups[g].base; n > c.maxReps {
+				c.maxReps = n
+			}
+		}
+	}
+	// Resolve store hits after grouping so the Welford partials include
+	// them (a resumed adaptive sweep continues its stopping rule).
+	for i := range c.tasks {
+		t := &c.tasks[i]
+		if res, ok := c.store.Get(t.key, t.desc); ok {
+			t.state = taskDone
+			c.hits++
+			c.done++
+			c.settleGroup(t, res.Connectivity, true)
+			continue
+		}
+		c.pending = append(c.pending, i)
+	}
+	return c, nil
+}
+
+// addTask appends a task entry and updates its configuration group.
+func (c *Coordinator) addTask(r experiment.Run, extra bool) int {
+	id := len(c.tasks)
+	g := r.ConfigKey()
+	cs := c.groups[g]
+	if cs == nil {
+		cs = &configState{key: g, desc: r.ConfigDesc()}
+		c.groups[g] = cs
+		c.groupOrder = append(c.groupOrder, g)
+	}
+	if !extra {
+		cs.base++
+	}
+	cs.issued++
+	cs.pending++
+	c.tasks = append(c.tasks, taskEntry{
+		run:   r,
+		key:   r.StoreKey(c.fingerprint),
+		desc:  r.Desc(),
+		group: g,
+		state: taskPending,
+		extra: extra,
+	})
+	return id
+}
+
+// settleGroup records one journaled success for a task's group.
+func (c *Coordinator) settleGroup(t *taskEntry, connectivity float64, ok bool) {
+	cs := c.groups[t.group]
+	cs.pending--
+	if ok {
+		cs.done++
+		var one stats.Welford
+		one.Add(connectivity)
+		cs.conn.Merge(one)
+	} else {
+		cs.failed++
+	}
+}
+
+// Fingerprint returns the options fingerprint the sweep journals under.
+func (c *Coordinator) Fingerprint() string { return c.fingerprint }
+
+// Job returns the wire spec served to workers.
+func (c *Coordinator) Job() JobSpec {
+	j := JobFromOptions(c.opts, c.retries)
+	j.Fingerprint = c.fingerprint
+	return j
+}
+
+// DoneCh is closed when the sweep completes (all tasks journaled and
+// the adaptive policy satisfied). cmd/sweepd uses it for -exit-on-done.
+func (c *Coordinator) DoneCh() <-chan struct{} { return c.doneCh }
+
+// reapExpired returns expired leases' unfinished tasks to the front of
+// the pending queue. Called under mu from every entry point, which is
+// the whole expiry mechanism — no timers, so a fake clock drives it in
+// tests exactly like the wall clock does in production.
+func (c *Coordinator) reapExpired(now time.Time) {
+	for id, l := range c.leases { //lint:order-independent each expired lease is handled independently; stolen tasks re-queue sorted below
+		if now.Before(l.deadline) {
+			continue
+		}
+		var stolen []int
+		for _, ti := range l.tasks {
+			if c.tasks[ti].state == taskLeased {
+				c.tasks[ti].state = taskPending
+				stolen = append(stolen, ti)
+			}
+		}
+		sort.Ints(stolen)
+		c.pending = append(stolen, c.pending...)
+		delete(c.leases, id)
+		c.publish(Event{Type: "expire", Worker: l.worker, Lease: id, Task: -1,
+			Desc: fmt.Sprintf("%d tasks returned to queue", len(stolen))}, now)
+	}
+}
+
+// Lease grants up to LeaseBatch pending tasks. See LeaseReply for the
+// three reply shapes.
+func (c *Coordinator) Lease(req LeaseRequest) LeaseReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+	c.workers[req.Worker] = true
+	c.reapExpired(now)
+	c.extendAdaptive(now)
+	c.checkComplete(now)
+	if c.complete {
+		return LeaseReply{Done: true}
+	}
+
+	var grant []int
+	for len(c.pending) > 0 && len(grant) < c.batch {
+		ti := c.pending[0]
+		c.pending = c.pending[1:]
+		if c.tasks[ti].state != taskPending {
+			continue // satisfied while queued (late duplicate completion)
+		}
+		c.tasks[ti].state = taskLeased
+		grant = append(grant, ti)
+	}
+	if len(grant) == 0 {
+		// Everything is leased to other workers: back off for a fraction
+		// of the TTL so a stolen lease is noticed promptly.
+		return LeaseReply{Wait: true, WaitSeconds: (c.ttl / 4).Seconds()}
+	}
+	if !c.started {
+		c.started = true
+		c.startAt = now
+	}
+	c.nextID++
+	l := &lease{id: c.nextID, worker: req.Worker, deadline: now.Add(c.ttl), tasks: grant}
+	c.leases[l.id] = l
+	rep := LeaseReply{Lease: l.id, TTLSeconds: c.ttl.Seconds()}
+	for _, ti := range grant {
+		rep.Tasks = append(rep.Tasks, Task{ID: ti, Run: c.tasks[ti].run})
+	}
+	c.publish(Event{Type: "grant", Worker: req.Worker, Lease: l.id, Task: -1,
+		Desc: fmt.Sprintf("%d tasks", len(grant))}, now)
+	return rep
+}
+
+// Heartbeat renews a lease. It reports false when the lease is unknown
+// or already expired — the worker should abandon the batch and re-lease
+// (its completed tasks are safe; its unfinished ones may already be
+// granted elsewhere).
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+	c.reapExpired(now)
+	l, ok := c.leases[req.Lease]
+	if !ok {
+		return false
+	}
+	l.deadline = now.Add(c.ttl)
+	return true
+}
+
+// Complete journals a batch of outcomes. Unknown or expired leases are
+// not an error: deterministic results are valid no matter who computed
+// them, so late completions of stolen work are absorbed (and counted as
+// duplicates when the thief already finished). The one hard failure is
+// a store write error, which the worker may simply retry.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+	c.workers[req.Worker] = true
+	c.reapExpired(now)
+	l := c.leases[req.Lease] // may be nil: expired or fully drained
+
+	var rep CompleteReply
+	for _, out := range req.Outcomes {
+		if out.Task < 0 || out.Task >= len(c.tasks) {
+			return rep, fmt.Errorf("fleet: outcome for unknown task %d", out.Task)
+		}
+		t := &c.tasks[out.Task]
+		if t.state == taskDone || t.state == taskFailed {
+			rep.Duplicate++
+			continue
+		}
+		if out.Failure != "" {
+			if err := c.store.PutFailure(t.key, t.desc, out.Attempts, out.Failure); err != nil {
+				return rep, err
+			}
+			t.state = taskFailed
+			c.failed++
+			c.computed++
+			c.settleGroup(t, 0, false)
+			c.publish(Event{Type: "failure", Worker: req.Worker, Lease: req.Lease,
+				Task: out.Task, Desc: t.desc}, now)
+		} else {
+			if out.Result == nil {
+				return rep, fmt.Errorf("fleet: outcome for task %d has neither result nor failure", out.Task)
+			}
+			if err := c.store.Put(t.key, t.desc, out.Attempts, *out.Result); err != nil {
+				return rep, err
+			}
+			t.state = taskDone
+			c.done++
+			c.computed++
+			c.settleGroup(t, out.Result.Connectivity, true)
+			c.publish(Event{Type: "complete", Worker: req.Worker, Lease: req.Lease,
+				Task: out.Task, Desc: t.desc}, now)
+		}
+		rep.Accepted++
+		if l != nil {
+			l.tasks = removeInt(l.tasks, out.Task)
+		}
+	}
+	if l != nil {
+		if len(l.tasks) == 0 {
+			delete(c.leases, req.Lease)
+		} else {
+			// Completion is liveness: renew alongside explicit heartbeats.
+			l.deadline = now.Add(c.ttl)
+		}
+	}
+	if rep.Accepted > 0 && c.computed%checkpointEvery == 0 {
+		c.flushCheckpoint(false)
+	}
+	c.extendAdaptive(now)
+	c.checkComplete(now)
+	rep.Done = c.complete
+	return rep, nil
+}
+
+// checkpointEvery paces advisory checkpoint flushes, mirroring the
+// in-process executor's cadence.
+const checkpointEvery = 32
+
+// flushCheckpoint writes the advisory progress summary. Total counts
+// this session's computable tasks (store hits excluded), matching the
+// executor's convention, so `sweepctl status` reads fleet and local
+// sweeps identically.
+func (c *Coordinator) flushCheckpoint(interrupted bool) {
+	_ = c.store.WriteCheckpoint(sweep.Checkpoint{
+		Fingerprint: c.fingerprint,
+		Done:        c.computed,
+		Total:       len(c.tasks) - c.hits,
+		Interrupted: interrupted,
+	})
+}
+
+// Interrupt flushes an interrupted checkpoint (cmd/sweepd calls it on
+// SIGINT before exiting; the per-record journal already holds every
+// completed run).
+func (c *Coordinator) Interrupt() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.complete {
+		c.flushCheckpoint(true)
+	}
+}
+
+// extendAdaptive applies the sequential stopping rule: for each
+// configuration with every issued rep journaled, at least its base reps
+// done, RelCI above target, and headroom under the cap, issue exactly
+// one more repetition. One at a time is the point — the new rep's
+// result decides whether another is needed, which is what makes the
+// rule sequential rather than a fixed over-provision.
+func (c *Coordinator) extendAdaptive(now time.Time) {
+	if c.targetRelCI <= 0 {
+		return
+	}
+	for _, g := range c.groupOrder {
+		cs := c.groups[g]
+		if cs.pending > 0 || cs.done < cs.base || cs.issued >= c.maxReps {
+			continue
+		}
+		if cs.conn.RelCI() <= c.targetRelCI {
+			continue
+		}
+		r := c.tasks[c.taskOfGroup(g)].run
+		r.Rep = cs.issued
+		id := c.addTask(r, true)
+		c.pending = append(c.pending, id)
+		c.publish(Event{Type: "extend", Task: id,
+			Desc: fmt.Sprintf("%s rep=%d (relCI %.4f > %.4f)", cs.desc, r.Rep, cs.conn.RelCI(), c.targetRelCI)}, now)
+	}
+}
+
+// taskOfGroup returns the index of some task of group g (the first; it
+// exists by construction).
+func (c *Coordinator) taskOfGroup(g uint64) int {
+	for i := range c.tasks {
+		if c.tasks[i].group == g {
+			return i
+		}
+	}
+	panic("fleet: group without tasks")
+}
+
+// checkComplete flips the coordinator into its terminal state once no
+// task is pending or leased and the adaptive policy issued nothing.
+func (c *Coordinator) checkComplete(now time.Time) {
+	if c.complete {
+		return
+	}
+	// Scrub stale queue entries: a requeued stolen task may have been
+	// completed by its original worker while waiting.
+	live := c.pending[:0]
+	for _, ti := range c.pending {
+		if c.tasks[ti].state == taskPending {
+			live = append(live, ti)
+		}
+	}
+	c.pending = live
+	if len(c.pending) > 0 || len(c.leases) > 0 {
+		return
+	}
+	for i := range c.tasks {
+		if s := c.tasks[i].state; s != taskDone && s != taskFailed {
+			return
+		}
+	}
+	c.complete = true
+	c.flushCheckpoint(false)
+	c.publish(Event{Type: "done", Task: -1,
+		Desc: fmt.Sprintf("%d done, %d failed", c.done, c.failed)}, now)
+	for s := range c.subs { //lint:order-independent closing every subscriber; order immaterial
+		close(s.ch)
+	}
+	c.subs = make(map[*subscriber]bool)
+	close(c.doneCh)
+}
+
+// Status snapshots the coordinator.
+func (c *Coordinator) Status(includeConfigs bool) Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+	c.reapExpired(now)
+	st := Status{
+		Fingerprint: c.fingerprint,
+		Total:       len(c.tasks),
+		Done:        c.done,
+		Failed:      c.failed,
+		Hits:        c.hits,
+		Computed:    c.computed,
+		Workers:     len(c.workers),
+		Complete:    c.complete,
+	}
+	for i := range c.tasks {
+		switch c.tasks[i].state {
+		case taskPending:
+			st.Pending++
+		case taskLeased:
+			st.Leased++
+		}
+	}
+	if c.started && c.computed > 0 {
+		elapsed := now.Sub(c.startAt).Seconds()
+		if elapsed > 0 {
+			st.ElapsedSeconds = elapsed
+			st.RunsPerSecond = float64(c.computed) / elapsed
+			st.ETASeconds = float64(st.Pending+st.Leased) / st.RunsPerSecond
+		}
+	}
+	st.Store = FingerprintSummary{Fingerprint: c.fingerprint, Runs: c.done, Failed: c.failed}
+	var conn stats.Welford
+	for _, g := range c.groupOrder {
+		conn.Merge(c.groups[g].conn)
+	}
+	st.Store.Connectivity = metricOf(conn)
+	if c.targetRelCI > 0 {
+		ad := &AdaptiveStatus{TargetRelCI: c.targetRelCI, MaxReps: c.maxReps}
+		for _, g := range c.groupOrder {
+			cs := c.groups[g]
+			ad.Extra += cs.issued - cs.base
+			if cs.done >= cs.base && cs.conn.RelCI() <= c.targetRelCI {
+				ad.Converged++
+			}
+		}
+		st.Adaptive = ad
+	}
+	if includeConfigs {
+		for _, g := range c.groupOrder {
+			cs := c.groups[g]
+			st.Configs = append(st.Configs, ConfigStatus{
+				Desc:       cs.desc,
+				Key:        fmt.Sprintf("%016x", cs.key),
+				BaseReps:   cs.base,
+				Issued:     cs.issued,
+				DoneReps:   cs.done,
+				FailedReps: cs.failed,
+				Mean:       cs.conn.Mean(),
+				RelCI:      cs.conn.RelCI(),
+			})
+		}
+	}
+	return st
+}
+
+// Aggregates folds the journaled results of every configuration group
+// into per-metric Welford summaries — the "figures as a service" query,
+// answerable while the sweep is still running. The fold is the same
+// pairwise Merge the offline tooling uses, so a mid-sweep aggregate is
+// exactly the final aggregate restricted to the reps journaled so far.
+func (c *Coordinator) Aggregates() []Aggregate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byGroup := make(map[uint64]*Aggregate, len(c.groupOrder))
+	out := make([]Aggregate, 0, len(c.groupOrder))
+	for _, g := range c.groupOrder {
+		cs := c.groups[g]
+		out = append(out, Aggregate{
+			Desc: cs.desc, Key: fmt.Sprintf("%016x", cs.key),
+			Protocol: c.tasks[c.taskOfGroup(g)].run.Protocol,
+			Speed:    c.tasks[c.taskOfGroup(g)].run.Speed,
+		})
+		byGroup[g] = &out[len(out)-1]
+	}
+	for i := range c.tasks {
+		t := &c.tasks[i]
+		if t.state != taskDone {
+			continue
+		}
+		res, ok := c.store.Get(t.key, t.desc)
+		if !ok {
+			continue // journaled then externally corrupted; skip, don't lie
+		}
+		a := byGroup[t.group]
+		a.Reps++
+		mergeOne(&a.Connectivity, res.Connectivity)
+		mergeOne(&a.TxRange, res.AvgTxRange)
+		mergeOne(&a.LogicalDegree, res.AvgLogicalDegree)
+		mergeOne(&a.PhysicalDegree, res.AvgPhysicalDegree)
+		mergeOne(&a.HelloTx, float64(res.HelloTx))
+		mergeOne(&a.DataTx, float64(res.DataTx))
+	}
+	return out
+}
+
+// Aggregate is one configuration's live summary, JSON-shaped for the
+// /aggregate endpoint.
+type Aggregate struct {
+	Desc     string  `json:"desc"`
+	Key      string  `json:"key"`
+	Protocol string  `json:"protocol"`
+	Speed    float64 `json:"speed"`
+	Reps     int     `json:"reps"`
+
+	Connectivity   Metric `json:"connectivity"`
+	TxRange        Metric `json:"tx_range"`
+	LogicalDegree  Metric `json:"logical_degree"`
+	PhysicalDegree Metric `json:"physical_degree"`
+	HelloTx        Metric `json:"hello_tx"`
+	DataTx         Metric `json:"data_tx"`
+}
+
+// Metric is a Welford summary rendered for JSON.
+type Metric struct {
+	w     stats.Welford
+	N     int     `json:"n"`
+	Mean  float64 `json:"mean"`
+	CI95  float64 `json:"ci95"`
+	RelCI float64 `json:"rel_ci"`
+}
+
+// mergeOne folds one observation into a Metric via the pairwise Welford
+// merge and refreshes the rendered fields.
+func mergeOne(m *Metric, x float64) {
+	var one stats.Welford
+	one.Add(x)
+	m.w.Merge(one)
+	*m = metricOf(m.w)
+}
+
+// subscriber is one /events client.
+type subscriber struct {
+	ch chan []byte
+}
+
+// Subscribe registers an events listener. The returned channel closes
+// when the sweep completes; cancel unregisters early. A subscriber that
+// falls more than the buffer behind loses events (the stream is a
+// monitor, not a journal — the store is the journal).
+func (c *Coordinator) Subscribe() (<-chan []byte, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &subscriber{ch: make(chan []byte, 256)}
+	if c.complete {
+		close(s.ch)
+		return s.ch, func() {}
+	}
+	c.subs[s] = true
+	return s.ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.subs[s] {
+			delete(c.subs, s)
+			close(s.ch)
+		}
+	}
+}
+
+// publish fans an event to subscribers. Called under mu.
+func (c *Coordinator) publish(ev Event, now time.Time) {
+	c.eventSeq++
+	ev.Seq = c.eventSeq
+	ev.UnixMillis = now.UnixMilli()
+	ev.Done = c.done
+	ev.Total = len(c.tasks)
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	for s := range c.subs { //lint:order-independent independent best-effort sends; delivery order per subscriber is preserved by its own channel
+		select {
+		case s.ch <- data:
+		default: // slow consumer: drop
+		}
+	}
+}
+
+// removeInt deletes the first occurrence of v, preserving order.
+func removeInt(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

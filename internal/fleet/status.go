@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"mstc/internal/stats"
+	"mstc/internal/sweep"
+)
+
+// This file is the shared machine-readable status encoding: `sweepctl
+// status -json` summarizing a store offline and the daemon's GET
+// /status describing the same store live emit the same
+// FingerprintSummary shape, produced by the same Welford fold — so
+// dashboards and scripts parse one format regardless of whether a
+// coordinator is running.
+
+// FingerprintSummary summarizes one fingerprint's records.
+type FingerprintSummary struct {
+	Fingerprint string `json:"fingerprint"`
+	// Runs counts verified completed records.
+	Runs int `json:"runs"`
+	// Failed counts exhausted-retry failure records; Corrupt counts
+	// records that failed checksum or decode verification.
+	Failed  int `json:"failed,omitempty"`
+	Corrupt int `json:"corrupt,omitempty"`
+	// Connectivity folds every completed record's connectivity through
+	// the pairwise Welford merge.
+	Connectivity Metric `json:"connectivity"`
+}
+
+// FailureDetail is one exhausted-retry failure surfaced by the summary.
+type FailureDetail struct {
+	Fingerprint string `json:"fingerprint"`
+	Desc        string `json:"desc"`
+	Attempts    int    `json:"attempts"`
+	Message     string `json:"message"`
+}
+
+// StoreSummary is the full offline summary of one store directory.
+type StoreSummary struct {
+	Dir          string               `json:"dir"`
+	Fingerprints []FingerprintSummary `json:"fingerprints"`
+	// Checkpoint is the advisory progress summary, when present and
+	// intact; CheckpointError carries the decode defect when the file
+	// exists but is corrupt (records stay authoritative either way).
+	Checkpoint      *sweep.Checkpoint `json:"checkpoint,omitempty"`
+	CheckpointError string            `json:"checkpoint_error,omitempty"`
+	// Failures details up to maxFailureDetails failure records.
+	Failures []FailureDetail `json:"failures,omitempty"`
+}
+
+// maxFailureDetails bounds the failure list in a summary; the count in
+// FingerprintSummary.Failed is always exact.
+const maxFailureDetails = 20
+
+// metricOf renders a Welford accumulator as a wire Metric.
+func metricOf(w stats.Welford) Metric {
+	return Metric{w: w, N: w.N(), Mean: w.Mean(), CI95: w.CI95(), RelCI: w.RelCI()}
+}
+
+// SummarizeStore scans a store into its machine-readable summary.
+func SummarizeStore(st *sweep.Store) (StoreSummary, error) {
+	sum := StoreSummary{Dir: st.Dir()}
+	byFP := make(map[string]int)
+	err := st.Scan(func(info sweep.RecordInfo) error {
+		i, seen := byFP[info.Fingerprint]
+		if !seen {
+			i = len(sum.Fingerprints)
+			byFP[info.Fingerprint] = i
+			sum.Fingerprints = append(sum.Fingerprints, FingerprintSummary{Fingerprint: info.Fingerprint})
+		}
+		fp := &sum.Fingerprints[i]
+		switch {
+		case info.Err != nil:
+			fp.Corrupt++
+		case info.Failed:
+			fp.Failed++
+			if len(sum.Failures) < maxFailureDetails {
+				sum.Failures = append(sum.Failures, FailureDetail{
+					Fingerprint: info.Fingerprint,
+					Desc:        info.Record.Desc,
+					Attempts:    info.Record.Attempts,
+					Message:     info.Record.Failure,
+				})
+			}
+		default:
+			fp.Runs++
+			var one stats.Welford
+			one.Add(info.Record.Result.Connectivity)
+			fp.Connectivity.w.Merge(one)
+		}
+		return nil
+	})
+	if err != nil {
+		return StoreSummary{}, err
+	}
+	for i := range sum.Fingerprints {
+		sum.Fingerprints[i].Connectivity = metricOf(sum.Fingerprints[i].Connectivity.w)
+	}
+	cp, ok, cperr := st.ReadCheckpoint()
+	if cperr != nil {
+		sum.CheckpointError = cperr.Error()
+	}
+	if ok {
+		sum.Checkpoint = &cp
+	}
+	return sum, nil
+}

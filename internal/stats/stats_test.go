@@ -131,6 +131,59 @@ func TestVarianceNeverNegative(t *testing.T) {
 	}
 }
 
+func TestRelCI(t *testing.T) {
+	add := func(xs ...float64) *Sample {
+		var s Sample
+		for _, x := range xs {
+			s.Add(x)
+		}
+		return &s
+	}
+	// Closed form for {m-d, m+d}: sd = d*sqrt(2), CI95 = 12.706*d, so
+	// RelCI = 12.706*d/|m|.
+	cases := []struct {
+		name string
+		s    *Sample
+		want float64
+	}{
+		{"empty", add(), 0},
+		{"single", add(7), 0},
+		{"constant", add(3, 3, 3), 0},
+		{"zero-mean zero-spread", add(0, 0), 0},
+		{"two-point", add(8, 12), 12.706 * 2 / 10},
+		{"negative mean", add(-8, -12), 12.706 * 2 / 10},
+	}
+	for _, tc := range cases {
+		if got := tc.s.RelCI(); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: RelCI = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Spread around an exactly-zero mean: the ratio is undefined, and the
+	// zero-safe convention reports +Inf so a threshold rule never stops on
+	// it by accident.
+	if got := add(-1, 1).RelCI(); !math.IsInf(got, 1) {
+		t.Errorf("zero-mean spread: RelCI = %v, want +Inf", got)
+	}
+}
+
+func TestRelCIWelfordMatchesSample(t *testing.T) {
+	rng := xrand.New(7)
+	var s Sample
+	var w Welford
+	for i := 0; i < 40; i++ {
+		x := rng.Uniform(50, 150)
+		s.Add(x)
+		w.Add(x)
+	}
+	if ds, dw := s.RelCI(), w.RelCI(); math.Abs(ds-dw) > 1e-12 {
+		t.Errorf("Sample.RelCI = %v, Welford.RelCI = %v", ds, dw)
+	}
+	var we Welford
+	if we.RelCI() != 0 {
+		t.Errorf("empty Welford RelCI = %v, want 0", we.RelCI())
+	}
+}
+
 func TestString(t *testing.T) {
 	var s Sample
 	s.Add(1)

@@ -67,6 +67,11 @@ func (w *Welford) String() string {
 	return fmt.Sprintf("%.4f ± %.4f", w.Mean(), w.CI95())
 }
 
+// RelCI returns the relative 95 % confidence-interval half-width
+// CI95/|mean|, with the same zero-safe convention as Sample.RelCI: 0
+// when there is no spread, +Inf for spread around a zero mean.
+func (w *Welford) RelCI() float64 { return relCI(w.Mean(), w.CI95()) }
+
 // State exposes the accumulator's internal triple (n, mean, M2) so a
 // partial can be serialized — e.g. into a sweep shard's summary — and
 // rebuilt bit-exactly with WelfordFromState on the merging side.

@@ -298,17 +298,26 @@ func (s *Store) WriteCheckpoint(cp Checkpoint) error {
 	return s.writeAtomic(filepath.Join(s.dir, checkpointLog), append(data, '\n'))
 }
 
-// ReadCheckpoint returns the last flushed checkpoint, if any.
-func (s *Store) ReadCheckpoint() (Checkpoint, bool) {
+// ReadCheckpoint returns the last flushed checkpoint, if any. A missing
+// checkpoint file reads as (zero, false, nil) — a store that never
+// checkpointed is normal. A file that exists but fails to decode returns
+// a non-nil error *and* ok == false: the checkpoint is advisory (the
+// per-record journal is the source of truth for resume), so callers keep
+// working, but they must surface the corruption as a warning instead of
+// silently pretending no sweep ever ran.
+func (s *Store) ReadCheckpoint() (Checkpoint, bool, error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, checkpointLog))
+	if errors.Is(err, os.ErrNotExist) {
+		return Checkpoint{}, false, nil
+	}
 	if err != nil {
-		return Checkpoint{}, false
+		return Checkpoint{}, false, fmt.Errorf("sweep: read checkpoint: %w", err)
 	}
 	var cp Checkpoint
 	if err := json.Unmarshal(data, &cp); err != nil {
-		return Checkpoint{}, false
+		return Checkpoint{}, false, fmt.Errorf("sweep: checkpoint corrupt (advisory only; records are intact): %w", err)
 	}
-	return cp, true
+	return cp, true, nil
 }
 
 // RecordInfo is one record surfaced by Scan: either a decoded record or

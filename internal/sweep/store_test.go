@@ -249,15 +249,51 @@ func TestGC(t *testing.T) {
 // TestCheckpointRoundTrip covers the advisory progress summary.
 func TestCheckpointRoundTrip(t *testing.T) {
 	s := mustOpen(t, t.TempDir())
-	if _, ok := s.ReadCheckpoint(); ok {
-		t.Fatal("fresh store has a checkpoint")
+	if _, ok, err := s.ReadCheckpoint(); ok || err != nil {
+		t.Fatalf("fresh store checkpoint = ok %v, err %v; want absent, nil", ok, err)
 	}
 	want := Checkpoint{Fingerprint: "fp01", Done: 12, Total: 40, Interrupted: true}
 	if err := s.WriteCheckpoint(want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.ReadCheckpoint()
-	if !ok || got != want {
-		t.Errorf("checkpoint round-trip = %+v, %v, want %+v", got, ok, want)
+	got, ok, err := s.ReadCheckpoint()
+	if !ok || err != nil || got != want {
+		t.Errorf("checkpoint round-trip = %+v, %v, %v, want %+v", got, ok, err, want)
+	}
+}
+
+// TestCheckpointCorruptionSurfaces writes a truncated checkpoint file and
+// asserts ReadCheckpoint reports the decode defect instead of silently
+// reading as "no checkpoint": the file is advisory, but an operator
+// should see that it was damaged.
+func TestCheckpointCorruptionSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.WriteCheckpoint(Checkpoint{Fingerprint: "fp01", Done: 30, Total: 40}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, checkpointLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-JSON: a torn write that the atomic rename normally
+	// prevents, simulated directly.
+	if err := os.WriteFile(filepath.Join(dir, checkpointLog), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, ok, err := s.ReadCheckpoint()
+	if ok {
+		t.Errorf("truncated checkpoint read as valid: %+v", cp)
+	}
+	if err == nil {
+		t.Fatal("truncated checkpoint produced no error")
+	}
+	// Overwriting with a fresh checkpoint recovers the warning path.
+	want := Checkpoint{Fingerprint: "fp01", Done: 40, Total: 40}
+	if err := s.WriteCheckpoint(want); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := s.ReadCheckpoint(); !ok || err != nil || got != want {
+		t.Errorf("checkpoint after rewrite = %+v, %v, %v, want %+v", got, ok, err, want)
 	}
 }
