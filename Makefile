@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-json check bench bench-compare faults-smoke resume-smoke parallel-smoke fleet-smoke
+.PHONY: build test race vet lint lint-json check bench bench-compare faults-smoke resume-smoke parallel-smoke fleet-smoke traffic-smoke
 
 build:
 	$(GO) build ./...
@@ -117,10 +117,41 @@ fleet-smoke:
 	cd $(FLEET)/direct && find runs -type f | sort | xargs sha256sum > $(FLEET)/direct.sum
 	cmp $(FLEET)/fleet.sum $(FLEET)/direct.sum
 
+# Traffic-subsystem smoke: the routing comparison (AODV/OLSR CBR flows
+# over controlled vs unit-disk topology) run twice and byte-compared —
+# any nondeterminism in route discovery, TC flooding, or flow scheduling
+# fails the diff. The second leg computes the same task set through a
+# sweepd coordinator and one worker; the fleet store must be
+# sha256-identical, record for record, to a single-process sweep.
+TRAFFIC := /tmp/mstc_traffic_smoke
+TRAFFLAGS := -exp traffic -quick -reps 2 -duration 8
+traffic-smoke:
+	rm -rf $(TRAFFIC) && mkdir -p $(TRAFFIC)
+	$(GO) build -o $(TRAFFIC)/sweepd ./cmd/sweepd
+	$(GO) build -o $(TRAFFIC)/sweepworker ./cmd/sweepworker
+	$(GO) build -o $(TRAFFIC)/paperfig ./cmd/paperfig
+	$(TRAFFIC)/paperfig $(TRAFFLAGS) > $(TRAFFIC)/a.txt
+	$(TRAFFIC)/paperfig $(TRAFFLAGS) > $(TRAFFIC)/b.txt
+	cmp $(TRAFFIC)/a.txt $(TRAFFIC)/b.txt
+	set -e; \
+	$(TRAFFIC)/sweepd $(TRAFFLAGS) -store $(TRAFFIC)/fleet -addr 127.0.0.1:0 \
+		-addr-file $(TRAFFIC)/addr -lease-ttl 3s -exit-on-done 2> $(TRAFFIC)/sweepd.log & \
+	SWEEPD=$$!; \
+	for i in $$(seq 100); do test -s $(TRAFFIC)/addr && break; sleep 0.1; done; \
+	ADDR=$$(cat $(TRAFFIC)/addr); \
+	$(TRAFFIC)/sweepworker -url http://$$ADDR -name smoke 2> $(TRAFFIC)/worker.log & \
+	WORKER=$$!; \
+	wait $$SWEEPD; \
+	wait $$WORKER
+	$(TRAFFIC)/paperfig $(TRAFFLAGS) -store $(TRAFFIC)/direct > /dev/null
+	cd $(TRAFFIC)/fleet  && find runs -type f | sort | xargs sha256sum > $(TRAFFIC)/fleet.sum
+	cd $(TRAFFIC)/direct && find runs -type f | sort | xargs sha256sum > $(TRAFFIC)/direct.sum
+	cmp $(TRAFFIC)/fleet.sum $(TRAFFIC)/direct.sum
+
 # Gate the hot path against the committed baseline trajectory: three
 # repetitions of BenchmarkSingleRun, compared by minimum ns/op; fails on a
 # >30 % regression. Override the reference with BASELINE=BENCH_1.json etc.
-BASELINE ?= BENCH_7.json
+BASELINE ?= BENCH_8.json
 bench-compare:
 	$(GO) test -run '^$$' -bench '^BenchmarkSingleRun$$' -count 3 . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchreport -baseline $(BASELINE) -gate BenchmarkSingleRun -o /dev/null

@@ -28,6 +28,7 @@ import (
 	"mstc/internal/snapshot"
 	"mstc/internal/spatial"
 	"mstc/internal/topology"
+	"mstc/internal/traffic"
 	"mstc/internal/xrand"
 )
 
@@ -466,6 +467,28 @@ func BenchmarkGeoRouting(b *testing.B) {
 		}
 		b.ReportMetric(float64(delivered)/float64(b.N), "delivered/ratio")
 	})
+}
+
+// BenchmarkTrafficRun measures a full routed-traffic run (internal/traffic
+// over the controlled topology) per mode: AODV pays discovery floods on
+// demand, OLSR a periodic TC budget. Delivery ratio rides along as a
+// custom metric so workload drift is visible next to the timing.
+func BenchmarkTrafficRun(b *testing.B) {
+	for _, mode := range []traffic.Mode{traffic.AODV, traffic.OLSR} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var res manet.Result
+			for i := 0; i < b.N; i++ {
+				cfg := manet.Config{
+					Protocol: topology.RNG{}, Seed: uint64(i),
+					Mech: manet.Mechanisms{Buffer: 10, ViewSync: true},
+				}
+				cfg.Traffic = traffic.Config{Mode: mode, Flows: 8, Rate: 2}
+				res = runOnce(b, 20, cfg)
+			}
+			b.ReportMetric(res.Traffic.DeliveryRatio, "pdr/ratio")
+		})
+	}
 }
 
 // BenchmarkAblationGridCell measures the spatial index's cell-size

@@ -12,6 +12,11 @@
 //	manetsim -protocol RNG -replay scenario.txt  # replay a recorded trace
 //	manetsim -record scenario.txt -speed 40      # record a mobility trace
 //
+// Routed CBR traffic (AODV on-demand / OLSR proactive, replaces flooding):
+//
+//	manetsim -protocol RNG -speed 20 -traffic aodv -buffer 10 -viewsync
+//	manetsim -protocol none -traffic olsr -traffic-flows 16 -traffic-rate 4
+//
 // Non-ideal channel (loss, delay, churn fault injection):
 //
 //	manetsim -protocol RNG -speed 40 -loss 0.2                     # i.i.d. loss
@@ -36,6 +41,7 @@ import (
 	"mstc/internal/radio"
 	"mstc/internal/topology"
 	"mstc/internal/trace"
+	"mstc/internal/traffic"
 	"mstc/internal/xrand"
 )
 
@@ -83,6 +89,10 @@ func main() {
 		floodRate    = flag.Float64("floods", 10, "connectivity probes per second")
 		floodSettle  = flag.Float64("settle", 0, "flood scoring deadline (s); 0 = default 0.5; raise under -delay-max")
 		unicastRate  = flag.Float64("unicast", 0, "greedy unicast probes per second (replaces flooding when > 0)")
+		trafficMode  = flag.String("traffic", "", "routed CBR traffic: aodv or olsr (replaces flooding when set)")
+		trafficFlows = flag.Int("traffic-flows", 0, "concurrent CBR flows (default 8)")
+		trafficRate  = flag.Float64("traffic-rate", 0, "CBR packets per second per flow (default 2)")
+		trafficPkts  = flag.Int("traffic-packets", 0, "per-flow packet budget (0 = unlimited)")
 		epidemicWin  = flag.Float64("epidemic", 0, "epidemic delivery window in seconds (replaces flooding when > 0)")
 		lossRate     = flag.Float64("loss", 0, "channel per-packet loss probability")
 		lossModel    = flag.String("loss-model", "", "loss model: bernoulli (default) or gilbert (bursty)")
@@ -213,6 +223,19 @@ func main() {
 	if *cdsFwd {
 		cfg.Mech.PhysicalNeighbors = true
 	}
+	if *trafficMode != "" {
+		mode, err := traffic.ModeByName(*trafficMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Traffic = traffic.Config{
+			Mode:    mode,
+			Flows:   *trafficFlows,
+			Rate:    *trafficRate,
+			Packets: *trafficPkts,
+		}
+		cfg.FloodRate = 0
+	}
 	if *unicastRate > 0 || *epidemicWin > 0 {
 		cfg.FloodRate = 0
 	}
@@ -239,6 +262,18 @@ func main() {
 		return
 	}
 	res := nw.Run(*duration)
+
+	if *trafficMode != "" {
+		tr := res.Traffic
+		fmt.Printf("protocol            %s\n", res.Protocol)
+		fmt.Printf("traffic             %s  %.4f delivered (%d/%d packets)\n",
+			tr.Mode, tr.DeliveryRatio, tr.Delivered, tr.Sent)
+		fmt.Printf("latency             %.3f s avg, %.2f avg hops\n", tr.AvgDelay, tr.AvgHops)
+		fmt.Printf("routing overhead    %.2f control tx per delivered (%d RREQ, %d RREP, %d RERR, %d TC)\n",
+			tr.ControlPerData, tr.RREQTx, tr.RREPTx, tr.RERRTx, tr.TCTx)
+		fmt.Printf("overhead            %d hello tx, %d data tx\n", res.HelloTx, tr.DataTx)
+		return
+	}
 
 	fmt.Printf("protocol            %s\n", res.Protocol)
 	fmt.Printf("mechanisms          buffer=%gm viewsync=%v pn=%v weakK=%d reactive=%v proactive=%v\n",

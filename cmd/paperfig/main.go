@@ -154,6 +154,22 @@ func experiments() []expSpec {
 			}
 			return nil
 		}},
+		// The routing comparison exercises the traffic subsystem
+		// (internal/traffic): CBR flows routed by AODV and OLSR over the
+		// controlled topology versus the unit-disk baseline. Opt-in only —
+		// not part of "all" — so the byte-identical output contract of
+		// pre-traffic invocations holds.
+		{"traffic", false, func(o experiment.Options, save func(string, string)) error {
+			f, t, err := experiment.FigTraffic(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f)
+			fmt.Println(t)
+			save("traffic.dat", f.Dat())
+			save("traffic_points.txt", t.String())
+			return nil
+		}},
 		// The fault-injection experiments exercise the non-ideal channel
 		// subsystem. They are opt-in only — never part of "all" — so the
 		// byte-identical output contract of pre-channel invocations holds.

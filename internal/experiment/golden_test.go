@@ -14,18 +14,24 @@ import (
 // changed substream labels, and is a bug — not a baseline to re-pin.
 //
 // History: the original digests were captured on the commit preceding the
-// channel subsystem and survived it unchanged. They were re-pinned ONCE,
-// deliberately, when flood forwarding moved onto the region-parallel
-// engine: the forward jitter had ridden the root network stream (its
-// position depending on the global chronological transmit order — state no
-// parallel execution can reproduce), and was re-keyed to a pure per-
-// (flood, forwarder, receiver) substream so both engines resolve identical
-// deferrals. That re-keying changes individual jitter values (never their
-// distribution), hence exactly one intentional digest change, verified
-// serial == parallel by manet's differential matrix.
+// channel subsystem and survived it unchanged. Two deliberate re-pins
+// since:
+//
+//  1. Flood forwarding moved onto the region-parallel engine: the forward
+//     jitter had ridden the root network stream (its position depending on
+//     the global chronological transmit order — state no parallel execution
+//     can reproduce), and was re-keyed to a pure per-(flood, forwarder,
+//     receiver) substream so both engines resolve identical deferrals. That
+//     re-keying changes individual jitter values (never their distribution),
+//     verified serial == parallel by manet's differential matrix.
+//  2. The traffic subsystem extended manet.Result with zero-valued Traffic
+//     and Unicast fields. resultsDigest hashes the %#v record form, which
+//     prints struct fields by name, so the representation changed while
+//     every pre-existing value stayed bit-identical — proven by the Fig6
+//     render digest below surviving the same commit unchanged.
 
 const (
-	goldenResultsDigest = "5a23d50a838894f24d8b4f0a0f9ea8d6e0c142c7d7bd06de41ef53444de0fa4e"
+	goldenResultsDigest = "44bc42e4b65e5a10fca7d41c113720fb91cf7f45693c491feb0ba8fd72d550c8"
 	goldenFig6Digest    = "f242ebe6c3a814b894a89957acf473157def4e58503965fac317ed714497ccdc"
 )
 
@@ -59,6 +65,26 @@ func TestIdealChannelResultsBitIdentical(t *testing.T) {
 	if got := resultsDigest(results); got != goldenResultsDigest {
 		t.Errorf("ideal-channel results drifted from the pre-channel golden digest:\n got %s\nwant %s",
 			got, goldenResultsDigest)
+	}
+}
+
+// TestTrafficGoldenDigest pins the complete FigTraffic render (figure,
+// .dat series, and per-point table) at a tiny scale. The traffic
+// subsystem draws from dedicated substreams ('t' pairs, 'q' jitter), so
+// this digest must survive refactors of unrelated subsystems — and any
+// traffic-layer change that moves it must be deliberate.
+func TestTrafficGoldenDigest(t *testing.T) {
+	const goldenTrafficDigest = "dacb4ae312446ef82314b14c4d9ef4e28af826db2fe7b047b8310c6e26cc48df"
+	o := goldenOptions()
+	o.Duration = 8
+	f, tab, err := FigTraffic(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(f.String() + "\n" + f.Dat() + "\n" + tab.String()))
+	if got := hex.EncodeToString(sum[:]); got != goldenTrafficDigest {
+		t.Errorf("FigTraffic render drifted from the golden digest:\n got %s\nwant %s",
+			got, goldenTrafficDigest)
 	}
 }
 

@@ -3,100 +3,69 @@ package experiment
 import (
 	"fmt"
 
-	"mstc/internal/geom"
 	"mstc/internal/manet"
-	"mstc/internal/mobility"
 	"mstc/internal/stats"
-	"mstc/internal/topology"
-	"mstc/internal/xrand"
 )
 
-// FigRouting is an extension experiment: greedy geographic unicast delivery
-// over the given protocol versus speed, with and without mobility
-// management (10 m buffer + view synchronization), plus the local-minimum /
-// range-failure breakdown the paper's two failure modes predict.
-func FigRouting(o Options, protocol string) (Figure, error) {
-	if err := o.Validate(); err != nil {
-		return Figure{}, err
-	}
-	mechs := []manet.Mechanisms{
+// routingMechs and routingUnicast fix the FigRouting grid; the "routing"
+// TaskSet enumerates the same runs, so fleet-filled stores cover it.
+func routingMechs() []manet.Mechanisms {
+	return []manet.Mechanisms{
 		{},
 		{Buffer: 10, ViewSync: true},
 	}
-	labels := []string{"plain", "buf10+VS"}
+}
 
-	type task struct {
-		speedIdx, mechIdx, rep int
-	}
-	var tasks []task
-	for si := range o.Speeds {
-		for mi := range mechs {
+func routingUnicast() manet.UnicastConfig { return manet.UnicastConfig{Rate: 20} }
+
+// routingTasks enumerates mechs × speeds × reps for one protocol in the
+// exact nesting order FigRouting consumes.
+func routingTasks(o Options, protocol string) []Run {
+	var tasks []Run
+	for _, m := range routingMechs() {
+		for _, s := range o.Speeds {
 			for rep := 0; rep < o.Reps; rep++ {
-				tasks = append(tasks, task{si, mi, rep})
+				tasks = append(tasks, Run{
+					Protocol: protocol, Speed: s, Mech: m,
+					Unicast: routingUnicast(), Rep: rep,
+				})
 			}
 		}
 	}
-	results := make([]manet.UnicastResult, len(tasks))
-	errs := make([]error, len(tasks))
-	forEachTask(o.Workers, len(tasks), func(i int) {
-		tk := tasks[i]
-		results[i], errs[i] = runUnicastOnce(o, protocol, o.Speeds[tk.speedIdx], mechs[tk.mechIdx], tk.rep)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return Figure{}, err
-		}
-	}
+	return tasks
+}
 
+// FigRouting is an extension experiment: greedy geographic unicast delivery
+// over the given protocol versus speed, with and without mobility
+// management (10 m buffer + view synchronization). It runs through the
+// shared Execute path — unicast runs carry their UnicastResult inside the
+// standard manet.Result record, so they land in result stores and fleet
+// journals like every other task.
+func FigRouting(o Options, protocol string) (Figure, error) {
+	results, err := Execute(o, routingTasks(o, protocol))
+	if err != nil {
+		return Figure{}, err
+	}
+	labels := []string{"plain", "buf10+VS"}
 	f := Figure{
 		Title:  fmt.Sprintf("Extension: greedy unicast delivery over %s", protocol),
 		XLabel: "speed (m/s)",
 		YLabel: "delivery ratio",
 	}
-	series := make([]Series, len(mechs))
-	for mi := range mechs {
-		series[mi] = Series{Name: labels[mi]}
-	}
 	i := 0
-	for si, sp := range o.Speeds {
-		_ = si
-		for mi := range mechs {
+	for mi := range routingMechs() {
+		s := Series{Name: labels[mi]}
+		for _, sp := range o.Speeds {
 			var agg stats.Sample
 			for rep := 0; rep < o.Reps; rep++ {
-				agg.Add(results[i].Delivered)
+				agg.Add(results[i].Unicast.Delivered)
 				i++
 			}
-			series[mi].X = append(series[mi].X, sp)
-			series[mi].Y = append(series[mi].Y, agg.Mean())
-			series[mi].CI = append(series[mi].CI, agg.CI95())
+			s.X = append(s.X, sp)
+			s.Y = append(s.Y, agg.Mean())
+			s.CI = append(s.CI, agg.CI95())
 		}
+		f.Series = append(f.Series, s)
 	}
-	f.Series = series
 	return f, nil
-}
-
-func runUnicastOnce(o Options, protocol string, speed float64, mech manet.Mechanisms, rep int) (manet.UnicastResult, error) {
-	lo, hi := mobility.SpeedSetdest(speed)
-	//lint:ignore substream deliberate pairing: same 'm' labels as runOne so unicast runs replay the exact flood-evaluation mobility traces
-	mobilitySeed := xrand.New(o.Seed).Sub('m', uint64(speed*1000), uint64(rep)).Uint64()
-	model, err := mobility.NewRandomWaypoint(geom.Square(o.ArenaSide), mobility.WaypointConfig{
-		N: o.N, SpeedMin: lo, SpeedMax: hi, Horizon: o.Duration,
-	}, xrand.New(mobilitySeed))
-	if err != nil {
-		return manet.UnicastResult{}, err
-	}
-	p, err := topology.ByName(protocol, o.NormalRange)
-	if err != nil {
-		return manet.UnicastResult{}, err
-	}
-	nw, err := manet.NewNetwork(model, manet.Config{
-		NormalRange: o.NormalRange,
-		Protocol:    p,
-		Mech:        mech,
-		Seed:        xrand.New(o.Seed).Sub('u', uint64(speed), uint64(rep), uint64(mech.Buffer)).Uint64(),
-	})
-	if err != nil {
-		return manet.UnicastResult{}, err
-	}
-	return nw.RunUnicast(o.Duration, manet.UnicastConfig{Rate: 20})
 }

@@ -25,6 +25,7 @@ import (
 	"mstc/internal/stats"
 	"mstc/internal/sweep"
 	"mstc/internal/topology"
+	"mstc/internal/traffic"
 	"mstc/internal/xrand"
 )
 
@@ -169,6 +170,14 @@ type Run struct {
 	// Channel, when non-zero, overrides Options.Channel for this task — the
 	// fault-injection sweeps vary it per point.
 	Channel channel.Config
+	// Traffic, when enabled, replaces the flood workload with CBR flows
+	// routed by the configured protocol (AODV/OLSR) — the routing
+	// comparison varies it per task. Flooding is forced off for such runs.
+	Traffic traffic.Config
+	// Unicast, when Rate > 0, replaces the flood workload with greedy
+	// geographic unicast probes (RunUnicast) — the FigRouting extension.
+	// Flooding is forced off for such runs.
+	Unicast manet.UnicastConfig
 	// Rep is the repetition index in [0, Reps).
 	Rep int
 }
@@ -242,6 +251,27 @@ func (r Run) key() uint64 {
 		word(math.Float64bits(r.Channel.Churn.MeanUp))
 		word(math.Float64bits(r.Channel.Churn.MeanDown))
 	}
+	// Workload overrides follow the same conditional pattern, each under
+	// its own domain-separation byte: flood-workload run keys (and hence
+	// the golden digests) stay bit-identical.
+	if r.Traffic.Enabled() {
+		mix(2)
+		mix(byte(r.Traffic.Mode))
+		word(uint64(r.Traffic.Flows))
+		word(math.Float64bits(r.Traffic.Rate))
+		word(uint64(r.Traffic.Packets))
+		word(uint64(r.Traffic.TTLStart))
+		word(uint64(r.Traffic.TTLMax))
+		word(uint64(r.Traffic.MaxRetries))
+		word(math.Float64bits(r.Traffic.RingTimeout))
+		word(math.Float64bits(r.Traffic.RouteLifetime))
+		word(math.Float64bits(r.Traffic.TCInterval))
+	}
+	if r.Unicast.Rate > 0 {
+		mix(3)
+		word(math.Float64bits(r.Unicast.Rate))
+		word(uint64(r.Unicast.MaxHops))
+	}
 	return h
 }
 
@@ -294,9 +324,9 @@ func Execute(o Options, tasks []Run) ([]manet.Result, error) {
 func executeOne(o Options, r Run) (manet.Result, error) {
 	arena := geom.Square(o.ArenaSide)
 	lo, hi := mobility.SpeedSetdest(r.Speed)
-	// Paired mobility: same (seed, speed, rep) trace for every protocol
-	// and mechanism configuration.
-	//lint:ignore substream deliberate pairing: this and runUnicastOnce derive the SAME 'm' stream so unicast runs replay the exact flood-evaluation mobility traces
+	// Paired mobility: same (seed, speed, rep) trace for every protocol,
+	// mechanism, and workload configuration — flood, unicast, and traffic
+	// runs at the same point all replay the exact same node trajectories.
 	mobilitySeed := xrand.New(o.Seed).Sub('m', uint64(r.Speed*1000), uint64(r.Rep)).Uint64()
 	model, err := mobility.NewRandomWaypoint(arena, mobility.WaypointConfig{
 		N: o.N, SpeedMin: lo, SpeedMax: hi, Horizon: o.Duration,
@@ -320,6 +350,15 @@ func executeOne(o Options, r Run) (manet.Result, error) {
 		ParallelWorkers:  o.EngineWorkers,
 		Seed:             xrand.New(o.Seed).Sub('n', r.key(), uint64(r.Rep)).Uint64(),
 	}
+	// A task carries exactly one probe workload: traffic and unicast
+	// overrides replace the flood probes rather than stacking on them.
+	if r.Traffic.Enabled() {
+		cfg.FloodRate = 0
+		cfg.Traffic = r.Traffic
+	}
+	if r.Unicast.Rate > 0 {
+		cfg.FloodRate = 0
+	}
 	if r.Mech.WeakK > 0 {
 		w, err := topology.WeakByName(r.Protocol, o.NormalRange)
 		if err != nil {
@@ -336,6 +375,13 @@ func executeOne(o Options, r Run) (manet.Result, error) {
 	nw, err := manet.NewNetwork(model, cfg)
 	if err != nil {
 		return manet.Result{}, err
+	}
+	if r.Unicast.Rate > 0 {
+		ur, err := nw.RunUnicast(o.Duration, r.Unicast)
+		if err != nil {
+			return manet.Result{}, err
+		}
+		return manet.Result{Protocol: cfg.ProtocolName(), Unicast: ur}, nil
 	}
 	return nw.Run(o.Duration), nil
 }

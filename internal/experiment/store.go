@@ -86,6 +86,12 @@ func (r Run) desc() string {
 	if r.Channel.Enabled() {
 		d += fmt.Sprintf(" chan=%+v", r.Channel)
 	}
+	if r.Traffic.Enabled() {
+		d += fmt.Sprintf(" traffic=%+v", r.Traffic)
+	}
+	if r.Unicast.Rate > 0 {
+		d += fmt.Sprintf(" unicast=%+v", r.Unicast)
+	}
 	return d
 }
 

@@ -92,8 +92,6 @@ func bufferMechs(buffers []float64, variant func(manet.Mechanisms) manet.Mechani
 // taskSets maps every TaskSet name to its enumerator. The enumerations
 // mirror the figures' Sweep calls run for run: a store filled from a
 // task set renders the corresponding figure with zero recomputation.
-// FigRouting is absent by design — unicast runs bypass the result store
-// entirely (they aggregate manet.UnicastResult, not manet.Result).
 func taskSets() map[string]func(o Options) []Run {
 	consistencyMechs := func() []manet.Mechanisms {
 		const buf = 10
@@ -154,6 +152,18 @@ func taskSets() map[string]func(o Options) []Run {
 		"energy": func(o Options) []Run {
 			names := append(BaselineNames(), "none")
 			return crossTasks(names, []float64{1}, []manet.Mechanisms{{}}, o.Reps)
+		},
+		"traffic": func(o Options) []Run {
+			return trafficTasks(o)
+		},
+		"routing": func(o Options) []Run {
+			// Mirrors paperfig's routing invocation: FigRouting over GG
+			// then RNG.
+			var tasks []Run
+			for _, p := range []string{"GG", "RNG"} {
+				tasks = append(tasks, routingTasks(o, p)...)
+			}
+			return tasks
 		},
 	}
 }

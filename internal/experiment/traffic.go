@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mstc/internal/manet"
+	"mstc/internal/stats"
+	"mstc/internal/traffic"
+)
+
+// Routing-comparison experiment — the traffic subsystem's evaluation.
+//
+// FigTraffic runs CBR flows routed by an on-demand protocol (AODV) and a
+// proactive one (OLSR) over two topologies: the unit-disk baseline
+// ("none", every physical link usable) and a controlled topology (RNG)
+// under the mobility-managed setting (10 m buffer + view synchronization).
+// The figure plots routing control overhead per delivered data packet
+// against speed; the table reports the full per-point picture (delivery
+// ratio, latency, hops, overhead) so the overhead comparison can be read
+// at comparable delivery — overhead alone is meaningless if one
+// configuration delivers nothing.
+//
+// The traffic spec is fixed (not an Options knob) so Options.Fingerprint
+// is untouched: stores filled before this experiment existed stay valid.
+
+// trafficSpec is the one CBR workload every routing-comparison task runs:
+// 8 flows at 2 pkt/s, protocol parameters at their defaults.
+func trafficSpec(mode traffic.Mode) traffic.Config {
+	return traffic.Config{Mode: mode, Flows: 8, Rate: 2}
+}
+
+// trafficProtocols and trafficModes fix the comparison grid. "none" is
+// the unit-disk baseline; RNG is the controlled topology (sparse but
+// connected, the paper's main subject).
+func trafficProtocols() []string    { return []string{"none", "RNG"} }
+func trafficModes() []traffic.Mode  { return []traffic.Mode{traffic.AODV, traffic.OLSR} }
+func trafficMech() manet.Mechanisms { return manet.Mechanisms{Buffer: 10, ViewSync: true} }
+
+// trafficTasks enumerates protocols × modes × speeds × reps in the exact
+// nesting order FigTraffic consumes — the "traffic" TaskSet uses it too,
+// so a fleet-filled store renders the figure without recomputation.
+func trafficTasks(o Options) []Run {
+	var tasks []Run
+	for _, p := range trafficProtocols() {
+		for _, m := range trafficModes() {
+			for _, s := range o.Speeds {
+				for rep := 0; rep < o.Reps; rep++ {
+					tasks = append(tasks, Run{
+						Protocol: p, Speed: s, Mech: trafficMech(),
+						Traffic: trafficSpec(m), Rep: rep,
+					})
+				}
+			}
+		}
+	}
+	return tasks
+}
+
+// FigTraffic is the routing comparison: control overhead per delivered
+// data packet versus speed, one series per (topology, routing protocol)
+// pair, with a per-point table of delivery ratio, latency, and hop count.
+func FigTraffic(o Options) (Figure, Table, error) {
+	results, err := Execute(o, trafficTasks(o))
+	if err != nil {
+		return Figure{}, Table{}, err
+	}
+	f := Figure{
+		Title:  "Routing comparison: control overhead over controlled vs unit-disk topology",
+		XLabel: "speed (m/s)",
+		YLabel: "control tx per delivered data packet",
+	}
+	t := Table{
+		Title: "Routing comparison: per-point delivery and overhead",
+		Header: []string{"topology", "routing", "speed (m/s)", "PDR",
+			"delay (s)", "hops", "ctrl/data"},
+	}
+	i := 0
+	for _, p := range trafficProtocols() {
+		for _, m := range trafficModes() {
+			s := Series{Name: fmt.Sprintf("%s/%s", p, m)}
+			for _, sp := range o.Speeds {
+				var pdr, delay, hops, ctrl stats.Welford
+				for rep := 0; rep < o.Reps; rep++ {
+					tr := results[i].Traffic
+					pdr.Add(tr.DeliveryRatio)
+					delay.Add(tr.AvgDelay)
+					hops.Add(tr.AvgHops)
+					ctrl.Add(tr.ControlPerData)
+					i++
+				}
+				s.X = append(s.X, sp)
+				s.Y = append(s.Y, ctrl.Mean())
+				s.CI = append(s.CI, ctrl.CI95())
+				t.Rows = append(t.Rows, []string{
+					p, m.String(),
+					fmt.Sprintf("%g", sp),
+					fmt.Sprintf("%.3f", pdr.Mean()),
+					fmt.Sprintf("%.3f", delay.Mean()),
+					fmt.Sprintf("%.2f", hops.Mean()),
+					fmt.Sprintf("%.2f", ctrl.Mean()),
+				})
+			}
+			f.Series = append(f.Series, s)
+		}
+	}
+	return f, t, nil
+}

@@ -20,13 +20,16 @@ import (
 // (1 for the sender's first message, incrementing by 1). Neighbors and
 // Marked are the optional 2-hop payload used by CDS-based broadcasting
 // (references [34]/[35]): the sender's current neighbor ids and its own
-// Wu-Li marked status.
+// Wu-Li marked status. MPRs is the optional OLSR payload: the multipoint
+// relays the sender selected from its neighborhood — a receiver listed
+// there knows the sender is one of its MPR selectors.
 type Message struct {
 	From      int
 	Pos       geom.Point
 	SentAt    float64
 	Version   uint64
 	Neighbors []int
+	MPRs      []int
 	Marked    bool
 }
 

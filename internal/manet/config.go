@@ -18,6 +18,7 @@ import (
 	"mstc/internal/channel"
 	"mstc/internal/radio"
 	"mstc/internal/topology"
+	"mstc/internal/traffic"
 )
 
 // Mechanisms selects which mobility-management mechanisms are active.
@@ -103,6 +104,12 @@ type Config struct {
 	// FloodRate is floods per second used to probe weak connectivity
 	// (10 in the paper). 0 disables flooding.
 	FloodRate float64
+	// Traffic configures the unicast traffic subsystem: CBR flows routed
+	// by an AODV-style on-demand or OLSR-style proactive protocol over
+	// the controlled logical topology (see traffic.go). The zero value
+	// disables it. Mutually exclusive with FloodRate, the collision MAC,
+	// and CDS-restricted flooding.
+	Traffic traffic.Config
 	// FloodSettle is how long after origination a flood is scored
 	// (every reachable node has forwarded by then). Default 0.5 s.
 	FloodSettle float64
@@ -172,6 +179,7 @@ func (c Config) withDefaults() Config {
 	c.ForwardJitterMax = defaultf(c.ForwardJitterMax, 0.001)
 	c.SampleRate = defaultf(c.SampleRate, 10)
 	c.EnergyAlpha = defaultf(c.EnergyAlpha, 2)
+	c.Traffic = c.Traffic.WithDefaults()
 	return c
 }
 
@@ -218,6 +226,15 @@ func (c Config) validate() error {
 		// further would consult a pruned interference log. Model one
 		// non-ideal timing effect at a time.
 		return fmt.Errorf("manet: channel delay and the collision MAC (Radio.TxDuration) are mutually exclusive")
+	case c.Traffic.Enabled() && c.FloodRate > 0:
+		return fmt.Errorf("manet: traffic and flooding are mutually exclusive (one probe workload per run)")
+	case c.Traffic.Enabled() && c.Radio.TxDuration > 0:
+		return fmt.Errorf("manet: traffic and the collision MAC (Radio.TxDuration) are mutually exclusive")
+	case c.Traffic.Enabled() && c.Mech.CDSForward:
+		return fmt.Errorf("manet: traffic and CDSForward are mutually exclusive (CDS restricts floods, which traffic replaces)")
+	}
+	if err := c.Traffic.Validate(); err != nil {
+		return err
 	}
 	return c.Channel.Validate()
 }

@@ -165,6 +165,8 @@ type Network struct {
 	freeDel   *delivery      // freelist of pooled flood deliveries
 	freeHello *helloDelivery // freelist of pooled delayed "Hello" deliveries
 
+	traf *trafficState // traffic subsystem state; nil = disabled
+
 	domGrid *radio.DomainGrid // region-parallel decomposition; nil = serial
 	par     *parRun           // set while runParallel drives the run: floods route through the domain barriers
 }
@@ -321,6 +323,9 @@ func (nw *Network) Run(duration float64) Result {
 			}
 		})
 	}
+	if nw.cfg.Traffic.Enabled() {
+		nw.startTraffic(duration)
+	}
 	sampleStart := 2 * nw.cfg.HelloMax
 	nw.eng.Every(sampleStart, 1/nw.cfg.SampleRate, func(now sim.Time) {
 		nw.sampleMetrics(now)
@@ -343,20 +348,23 @@ func (nw *Network) Run(duration float64) Result {
 // rounds, and flood forwarding are all covered: their random components
 // are pure functions of each event's identity (or per-receiver chains
 // replayed in chronological order), so domain barriers resolve them
-// bit-identically to the serial engine. Two features remain ineligible,
-// both because their "Hello"/flood processing consumes shared, globally
+// bit-identically to the serial engine. Three features remain ineligible,
+// all because their "Hello"/packet processing consumes shared, globally
 // ordered state that cannot be partitioned by receiver domain: the
 // collision MAC's interference log (every transmission contends with
-// every overlapping one, arena-wide) and CDS forwarding (neighbor-list
+// every overlapping one, arena-wide), CDS forwarding (neighbor-list
 // payloads built from the sender's table at send time travel in the
-// packet and feed every receiver's marking state). Such configurations
-// silently use the serial engine (results are identical by construction,
-// so the fallback is a performance property, not a semantic one).
+// packet and feed every receiver's marking state), and the traffic
+// subsystem (route tables and link-state views mutate at arbitrary nodes
+// on every reception, so packet order across domains is semantic). Such
+// configurations silently use the serial engine (results are identical by
+// construction, so the fallback is a performance property, not a semantic
+// one).
 func (nw *Network) parallelEligible() bool {
 	if nw.cfg.Domains < 1 {
 		return false
 	}
-	if nw.cfg.Radio.TxDuration > 0 || nw.cfg.Mech.CDSForward {
+	if nw.cfg.Radio.TxDuration > 0 || nw.cfg.Mech.CDSForward || nw.cfg.Traffic.Enabled() {
 		return false
 	}
 	return true
@@ -405,6 +413,11 @@ func (nw *Network) sendHello(nd *node, now sim.Time) {
 		for _, m := range nw.msgBuf {
 			msg.Neighbors = append(msg.Neighbors, m.From)
 		}
+	}
+	if nw.traf != nil {
+		// Traffic excludes CDSForward, so the assignment never clobbers a
+		// CDS payload; outside OLSR mode it is nil over nil.
+		msg.Neighbors, msg.MPRs = nw.traf.helloPayload(nd, now)
 	}
 	nd.recordOwn(msg)
 	nd.advertisedPos = pos
@@ -785,6 +798,9 @@ func (nw *Network) result() Result {
 	res.DataTx = nw.dataTx
 	res.DataEnergy = nw.dataEnergy
 	res.HelloEnergy = nw.helloEnergy
+	if nw.traf != nil {
+		res.Traffic = nw.traf.result()
+	}
 	return res
 }
 
@@ -822,4 +838,12 @@ type Result struct {
 	// HelloEnergy is the energy spent on beaconing (always full power:
 	// one unit per "Hello").
 	HelloEnergy float64
+	// Traffic aggregates the traffic subsystem, when Config.Traffic
+	// enables it (Mode is "" otherwise).
+	Traffic TrafficResult
+	// Unicast aggregates the greedy-geographic probe workload when the
+	// run was driven through RunUnicast (zero otherwise). Run itself
+	// never fills it; the experiment layer copies the RunUnicast result
+	// here so every workload shares one record type.
+	Unicast UnicastResult
 }

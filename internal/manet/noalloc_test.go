@@ -8,6 +8,7 @@ import (
 	"mstc/internal/lint"
 	"mstc/internal/sim"
 	"mstc/internal/topology"
+	"mstc/internal/traffic"
 )
 
 // TestNoallocAnnotationsConform pins this package's //manet:noalloc
@@ -25,10 +26,11 @@ func TestNoallocAnnotationsConform(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{
-		"Network.scheduleHellos", "delLess", "delivery.Act",
-		"domainCtx.popDel", "domainCtx.pushDel", "helloDelivery.Act",
-		"parRun.processDomain", "parRun.processFloodScan",
+		"Network.forwardData", "Network.scheduleHellos", "delLess",
+		"delivery.Act", "domainCtx.popDel", "domainCtx.pushDel",
+		"helloDelivery.Act", "parRun.processDomain", "parRun.processFloodScan",
 		"parRun.processRecord", "parRun.processSegment", "parRun.processSettle",
+		"trafficDelivery.Act", "trafficState.olsrNextHop",
 	}
 	if !reflect.DeepEqual(annotated, want) {
 		t.Fatalf("//manet:noalloc set changed: got %v, want %v — update this conformance test with the new path", annotated, want)
@@ -89,6 +91,58 @@ func TestNoallocAnnotationsConform(t *testing.T) {
 	}
 	if events == 0 {
 		t.Fatal("measured windows executed no events; the conformance run is vacuous")
+	}
+}
+
+// TestTrafficSteadyStateAllocs pins the traffic forwarding hot path
+// (//manet:noalloc on trafficDelivery.Act and Network.forwardData): on a
+// static network with AODV routes discovered and kept warm by the data
+// stream itself, advancing the event loop — CBR emission, per-hop relay,
+// route-table lookup and refresh, pooled deliveries — must allocate
+// nothing.
+func TestTrafficSteadyStateAllocs(t *testing.T) {
+	const n = 48
+	model := connectedStatic(t, 100, n, 1e9)
+	cfg := Config{Protocol: topology.RNG{}, Seed: 7}
+	cfg.Traffic = traffic.Config{Mode: traffic.AODV, Flows: 6, Rate: 8}
+	nw, err := NewNetwork(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror Run's scheduling: hello beacons plus the traffic subsystem,
+	// with a horizon far beyond the measured windows so the drain guard
+	// never stops emission.
+	for _, nd := range nw.nodes {
+		nd := nd
+		first := nw.rng.Sub('f', uint64(nd.id)).Uniform(0, nd.interval)
+		nw.eng.Every(first, nd.interval, func(now sim.Time) {
+			nw.sendHello(nd, now)
+		})
+	}
+	nw.startTraffic(1e9)
+
+	// Warm up: discoveries complete, pools and the event heap grow to
+	// their steady-state footprint.
+	deadline := sim.Time(12)
+	nw.eng.Run(deadline)
+	ts := nw.traf
+	if ts.delivered == 0 || ts.freeData == nil {
+		t.Fatalf("warm-up did not exercise the data path: delivered=%d pool=%v",
+			ts.delivered, ts.freeData != nil)
+	}
+
+	before := ts.delivered
+	events := 0
+	step := func() {
+		deadline += 0.25
+		events += nw.eng.Run(deadline)
+	}
+	if allocs := testing.AllocsPerRun(80, step); allocs != 0 {
+		t.Errorf("traffic steady state: %.2f allocs per %.2fs window, want 0", allocs, 0.25)
+	}
+	if events == 0 || ts.delivered == before {
+		t.Fatalf("measured windows delivered no packets (events=%d, delivered=%d→%d); the measurement is vacuous",
+			events, before, ts.delivered)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"mstc/internal/hello"
 	"mstc/internal/mobility"
 	"mstc/internal/topology"
+	"mstc/internal/traffic"
 	"mstc/internal/xrand"
 )
 
@@ -44,7 +45,13 @@ func runDigest(tb testing.TB, model mobility.Model, cfg Config, dur float64) str
 		tb.Fatal(err)
 	}
 	res := nw.Run(dur)
-	if res.HelloTx == 0 || res.Floods == 0 {
+	// Vacuity guard matched to the configured probe workload: traffic runs
+	// flood nothing by construction.
+	if cfg.Traffic.Enabled() {
+		if res.HelloTx == 0 || res.Traffic.Sent == 0 {
+			tb.Fatalf("degenerate run: hellos=%d traffic sent=%d", res.HelloTx, res.Traffic.Sent)
+		}
+	} else if res.HelloTx == 0 || res.Floods == 0 {
 		tb.Fatalf("degenerate run: hellos=%d floods=%d", res.HelloTx, res.Floods)
 	}
 	h := sha256.New()
@@ -269,12 +276,15 @@ func TestSelectWeakUsesCallerSelfPos(t *testing.T) {
 }
 
 // TestParallelFallbackConfigs pins the automatic serial fallback. Exactly
-// two features remain unsupported by the region-parallel engine — the
-// collision MAC (cross-domain jamming state) and CDS forwarding (a global
-// marking recomputed at snapshot fences) — and they must still run, on the
-// serial path, producing results identical to Domains = 0. If a config
-// below ever becomes parallel-eligible, this test fails so the eligibility
-// table in DESIGN.md and the differential matrix get extended first.
+// three features remain unsupported by the region-parallel engine — the
+// collision MAC (cross-domain jamming state), CDS forwarding (a global
+// marking recomputed at snapshot fences), and the traffic subsystem (route
+// tables and link-state views mutate at arbitrary nodes on every
+// reception, so packet order across domains is semantic) — and they must
+// still run, on the serial path, producing results identical to
+// Domains = 0. If a config below ever becomes parallel-eligible, this test
+// fails so the eligibility table in DESIGN.md and the differential matrix
+// get extended first.
 func TestParallelFallbackConfigs(t *testing.T) {
 	const dur = 6.0
 	model := parWaypoint(t, 40, 10, dur, 99)
@@ -284,6 +294,14 @@ func TestParallelFallbackConfigs(t *testing.T) {
 	}{
 		{"collision-mac", func(c *Config) { c.Radio.TxDuration = 0.001 }},
 		{"cds-forward", func(c *Config) { c.Mech.CDSForward, c.Mech.PhysicalNeighbors = true, true }},
+		{"traffic-aodv", func(c *Config) {
+			c.FloodRate = 0
+			c.Traffic = traffic.Config{Mode: traffic.AODV, Flows: 4, Rate: 4}
+		}},
+		{"traffic-olsr", func(c *Config) {
+			c.FloodRate = 0
+			c.Traffic = traffic.Config{Mode: traffic.OLSR, Flows: 4, Rate: 4, TCInterval: 2}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -349,6 +367,14 @@ func TestParallelEligibility(t *testing.T) {
 		}, true},
 		{"collision-mac", func(c *Config) { c.Radio.TxDuration = 0.001 }, false},
 		{"cds-forward", func(c *Config) { c.Mech.CDSForward, c.Mech.PhysicalNeighbors = true, true }, false},
+		{"traffic-aodv", func(c *Config) {
+			c.FloodRate = 0
+			c.Traffic = traffic.Config{Mode: traffic.AODV}
+		}, false},
+		{"traffic-olsr", func(c *Config) {
+			c.FloodRate = 0
+			c.Traffic = traffic.Config{Mode: traffic.OLSR}
+		}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,124 @@
+package traffic
+
+// AODV route-table state machine. Sequence numbers follow the AODV
+// freshness discipline with one simplification: counters start at zero and
+// increase by small steps over a bounded run, so plain integer comparison
+// replaces the RFC's wraparound-aware signed comparison.
+
+// Route is one routing-table entry toward a destination.
+type Route struct {
+	// NextHop is the neighbor data packets for the destination are
+	// forwarded to.
+	NextHop int
+	// Hops is the advertised distance to the destination via NextHop.
+	Hops int
+	// Seq is the destination sequence number the entry was learned under.
+	Seq uint32
+	// Expiry is the instant the entry stops being usable.
+	Expiry float64
+	// Valid distinguishes a live route from one invalidated by RERR or
+	// link loss; an invalid entry still remembers Seq, as AODV requires.
+	Valid bool
+	// Known reports whether the slot has ever held a route.
+	Known bool
+}
+
+// RouteTable is one node's routing table, slot-indexed by destination id so
+// the steady-state lookup is a bounds-checked load — no map, no allocation.
+type RouteTable struct {
+	routes []Route
+}
+
+// NewRouteTable returns an empty table for destinations in [0, n).
+func NewRouteTable(n int) *RouteTable {
+	return &RouteTable{routes: make([]Route, n)}
+}
+
+// NewRouteTables returns count tables for destinations in [0, n) with one
+// shared backing array — O(1) allocations for a simulation's per-node set.
+func NewRouteTables(n, count int) []*RouteTable {
+	backing := make([]Route, n*count)
+	tables := make([]RouteTable, count)
+	out := make([]*RouteTable, count)
+	for c := 0; c < count; c++ {
+		tables[c].routes = backing[c*n : (c+1)*n : (c+1)*n]
+		out[c] = &tables[c]
+	}
+	return out
+}
+
+// Lookup returns the live route toward dst: valid and unexpired.
+//
+//manet:noalloc
+func (t *RouteTable) Lookup(dst int, now float64) (Route, bool) {
+	r := t.routes[dst]
+	if !r.Known || !r.Valid || now > r.Expiry {
+		return Route{}, false
+	}
+	return r, true
+}
+
+// LastSeq returns the last destination sequence number heard for dst (0 if
+// none) — what a RREQ advertises as the minimum acceptable freshness.
+func (t *RouteTable) LastSeq(dst int) uint32 { return t.routes[dst].Seq }
+
+// Update installs a candidate route toward dst if it is fresher than the
+// stored entry per the AODV rule: always accept into an unknown or invalid
+// slot, otherwise require a strictly newer sequence number, or an equal one
+// with a strictly shorter path. It reports whether the entry changed.
+func (t *RouteTable) Update(dst int, r Route) bool {
+	old := t.routes[dst]
+	if old.Known && old.Valid && !fresher(r, old) {
+		return false
+	}
+	r.Known = true
+	r.Valid = true
+	t.routes[dst] = r
+	return true
+}
+
+// fresher reports whether candidate route r supersedes live route old.
+func fresher(r, old Route) bool {
+	if r.Seq != old.Seq {
+		return r.Seq > old.Seq
+	}
+	return r.Hops < old.Hops
+}
+
+// Refresh extends the lifetime of a live route toward dst to at least
+// until. Expired or invalid entries are left alone.
+//
+//manet:noalloc
+func (t *RouteTable) Refresh(dst int, until float64) {
+	r := &t.routes[dst]
+	if r.Known && r.Valid && until > r.Expiry {
+		r.Expiry = until
+	}
+}
+
+// Invalidate tears down the route toward dst if it runs through nextHop
+// (nextHop < 0 matches any), bumping the stored sequence number so stale
+// advertisements cannot resurrect the path. It reports whether a live
+// route was torn down.
+func (t *RouteTable) Invalidate(dst, nextHop int) bool {
+	r := &t.routes[dst]
+	if !r.Known || !r.Valid || (nextHop >= 0 && r.NextHop != nextHop) {
+		return false
+	}
+	r.Valid = false
+	r.Seq++
+	return true
+}
+
+// InvalidateVia tears down every live route through the failed neighbor
+// nextHop, appending the affected destinations to dst. This is the
+// link-break sweep behind a RERR: all destinations reached through the
+// lost hop become unreachable at once.
+func (t *RouteTable) InvalidateVia(nextHop int, dst []int) []int {
+	for d := range t.routes {
+		if t.Invalidate(d, nextHop) {
+			dst = append(dst, d)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,215 @@
+package traffic
+
+// OLSR machinery: multipoint-relay (MPR) selection over the gossiped 2-hop
+// neighborhood, and the per-node link-state table fed by TC messages with
+// its BFS next-hop computation. All scratch is preallocated per LinkState,
+// so the steady-state route lookup allocates nothing.
+
+// SelectMPRs computes a multipoint relay set: the subset of 1-hop
+// neighbors through which every 2-hop neighbor is reachable. neighbors
+// lists the 1-hop ids ascending; twoHop[i] lists the 2-hop nodes reachable
+// through neighbors[i] (already excluding the selector itself and its
+// 1-hop set). The result is appended to dst in ascending id order.
+//
+// Selection is the standard greedy cover, with the tie rule pinned by
+// TestSelectMPRsTieRule: first every neighbor that is the sole cover of
+// some 2-hop node is taken (it must be in any cover), then neighbors are
+// taken by descending uncovered-coverage count, smallest id winning ties.
+func SelectMPRs(neighbors []int, twoHop [][]int, dst []int) []int {
+	start := len(dst)
+	covered := make(map[int]int, 16) // 2-hop node -> number of neighbors reaching it
+	for _, reach := range twoHop {
+		for _, x := range reach {
+			covered[x]++
+		}
+	}
+	uncovered := len(covered)
+	picked := make([]bool, len(neighbors))
+	cover := func(i int) {
+		picked[i] = true
+		for _, x := range twoHop[i] {
+			if covered[x] > 0 {
+				covered[x] = 0
+				uncovered--
+			}
+		}
+	}
+	// Essential pass: a 2-hop node with exactly one cover forces its
+	// neighbor into the set.
+	for i := range neighbors {
+		sole := false
+		for _, x := range twoHop[i] {
+			if covered[x] == 1 {
+				sole = true
+				break
+			}
+		}
+		if sole {
+			cover(i)
+		}
+	}
+	// Greedy pass: maximum uncovered coverage, smallest id on ties (the
+	// ascending scan with a strict > keeps the earliest maximum).
+	for uncovered > 0 {
+		best, bestGain := -1, 0
+		for i := range neighbors {
+			if picked[i] {
+				continue
+			}
+			gain := 0
+			for _, x := range twoHop[i] {
+				if covered[x] > 0 {
+					gain++
+				}
+			}
+			if gain > bestGain ||
+				(gain == bestGain && gain > 0 && neighbors[i] < neighbors[best]) {
+				best, bestGain = i, gain
+			}
+		}
+		if best == -1 {
+			break // remaining 2-hop nodes are unreachable (stale gossip)
+		}
+		cover(best)
+	}
+	for i, p := range picked {
+		if p {
+			dst = append(dst, neighbors[i])
+		}
+	}
+	sortInts(dst[start:])
+	return dst
+}
+
+// sortInts is an allocation-free insertion sort (the sets are small:
+// a handful of MPRs per node).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// LinkState is one node's link-state view: per TC originator, the
+// advertised MPR-selector set under its latest ANSN, plus the next-hop
+// table BFS derives from it. Mutations mark the table dirty; Recompute
+// rebuilds routes outside the per-packet path, so NextHop stays a pair of
+// array loads.
+type LinkState struct {
+	n    int
+	ansn []uint32 // latest ANSN per originator
+	has  []bool   // originator has a live TC entry
+	sel  [][]int  // advertised selector sets (reused backings)
+
+	dirty bool
+	next  []int // next hop per destination, -1 = unknown
+	hops  []int // BFS distance per destination, -1 = unreachable
+
+	queue []int   // BFS scratch
+	adj   [][]int // adjacency scratch (reused backings)
+}
+
+// NewLinkState returns an empty link-state table for node ids in [0, n).
+func NewLinkState(n int) *LinkState {
+	ls := &LinkState{
+		n:     n,
+		ansn:  make([]uint32, n),
+		has:   make([]bool, n),
+		sel:   make([][]int, n),
+		next:  make([]int, n),
+		hops:  make([]int, n),
+		queue: make([]int, 0, n),
+		adj:   make([][]int, n),
+	}
+	for i := range ls.next {
+		ls.next[i] = -1
+		ls.hops[i] = -1
+	}
+	ls.dirty = true
+	return ls
+}
+
+// RecordTC ingests a TC advertisement: originator origin claims selector
+// set sel under sequence number ansn. Stale (non-increasing) ANSNs are
+// ignored. It reports whether the advertisement was fresh — the MPR
+// flooding rule re-forwards only fresh copies. The selector slice is
+// copied; the caller keeps ownership of sel.
+func (ls *LinkState) RecordTC(origin int, ansn uint32, sel []int) bool {
+	if ls.has[origin] && ansn <= ls.ansn[origin] {
+		return false
+	}
+	ls.has[origin] = true
+	ls.ansn[origin] = ansn
+	ls.sel[origin] = append(ls.sel[origin][:0], sel...)
+	ls.dirty = true
+	return true
+}
+
+// MarkDirty forces the next Recompute (the driver calls it when the 1-hop
+// neighbor set changes under the table).
+func (ls *LinkState) MarkDirty() { ls.dirty = true }
+
+// Dirty reports whether Recompute must run before NextHop is consulted.
+func (ls *LinkState) Dirty() bool { return ls.dirty }
+
+// Recompute rebuilds the next-hop table for self given its current 1-hop
+// neighbors: breadth-first search over the undirected link set
+// {self—neighbor} ∪ {originator—selector} from every live TC entry.
+// Determinism: adjacency lists are built in ascending node order and BFS
+// visits them in order, so equal-length paths resolve identically on every
+// run.
+func (ls *LinkState) Recompute(self int, neighbors []int) {
+	ls.dirty = false
+	for i := range ls.adj {
+		ls.adj[i] = ls.adj[i][:0]
+		ls.next[i] = -1
+		ls.hops[i] = -1
+	}
+	for o := 0; o < ls.n; o++ {
+		if !ls.has[o] {
+			continue
+		}
+		for _, s := range ls.sel[o] {
+			ls.adj[o] = append(ls.adj[o], s)
+			ls.adj[s] = append(ls.adj[s], o)
+		}
+	}
+	ls.next[self] = self
+	ls.hops[self] = 0
+	ls.queue = ls.queue[:0]
+	for _, nb := range neighbors {
+		if nb == self {
+			continue
+		}
+		ls.next[nb] = nb
+		ls.hops[nb] = 1
+		ls.queue = append(ls.queue, nb)
+	}
+	for head := 0; head < len(ls.queue); head++ {
+		u := ls.queue[head]
+		for _, v := range ls.adj[u] {
+			if ls.hops[v] >= 0 {
+				continue
+			}
+			ls.hops[v] = ls.hops[u] + 1
+			ls.next[v] = ls.next[u] // inherit the first hop
+			ls.queue = append(ls.queue, v)
+		}
+	}
+}
+
+// NextHop returns the first hop toward dst, computed by the last
+// Recompute. The caller must Recompute when Dirty reports true.
+//
+//manet:noalloc
+func (ls *LinkState) NextHop(dst int) (int, bool) {
+	nh := ls.next[dst]
+	if nh < 0 {
+		return 0, false
+	}
+	return nh, true
+}
+
+// Hops returns the BFS distance toward dst (-1 if unreachable).
+func (ls *LinkState) Hops(dst int) int { return ls.hops[dst] }

@@ -1,0 +1,151 @@
+// Package traffic implements the routing-protocol state machines of the
+// traffic subsystem: an AODV-style on-demand protocol (RREQ flood with
+// sequence numbers and TTL-expanding ring search, RREP unicast
+// back-propagation, route tables with lifetimes, RERR on next-hop loss)
+// and an OLSR-style proactive protocol (periodic TC messages flooded over
+// multipoint-relay sets selected from the 2-hop neighborhood gossiped by
+// "Hello" tables).
+//
+// Like package hello, everything here is pure bookkeeping — no simulation
+// clocks, no randomness — so the state machines are unit testable in
+// isolation; package manet drives them from the event loop and owns every
+// substream ('t' for CBR flow draws, 'q' for per-hop jitter).
+package traffic
+
+import "fmt"
+
+// Mode selects the routing protocol carrying CBR traffic.
+type Mode int
+
+const (
+	// Off disables the traffic subsystem (the zero value).
+	Off Mode = iota
+	// AODV runs the on-demand protocol: routes are discovered by RREQ
+	// floods when a flow needs them and torn down by RERR on loss.
+	AODV
+	// OLSR runs the proactive protocol: topology-control (TC) messages
+	// flooded over MPR sets keep link-state routes warm at every node.
+	OLSR
+)
+
+// String returns the mode's display name.
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case AODV:
+		return "aodv"
+	case OLSR:
+		return "olsr"
+	}
+	return fmt.Sprintf("traffic.Mode(%d)", int(m))
+}
+
+// ModeByName resolves a display name back to a Mode.
+func ModeByName(name string) (Mode, error) {
+	switch name {
+	case "off", "":
+		return Off, nil
+	case "aodv":
+		return AODV, nil
+	case "olsr":
+		return OLSR, nil
+	}
+	return Off, fmt.Errorf("traffic: unknown mode %q", name)
+}
+
+// Config parameterizes the traffic subsystem of one run. The zero value
+// disables it; WithDefaults fills the remaining zero fields once a Mode is
+// set.
+type Config struct {
+	// Mode selects the routing protocol (Off disables traffic).
+	Mode Mode
+	// Flows is the number of concurrent CBR flows between random
+	// source-destination pairs (default 8).
+	Flows int
+	// Rate is data packets per second per flow (default 2).
+	Rate float64
+	// Packets caps the packets each flow originates; 0 means unlimited
+	// (flows emit until the run's drain horizon).
+	Packets int
+	// TTLStart is the initial RREQ ring radius of the expanding ring
+	// search (default 2). AODV only.
+	TTLStart int
+	// TTLMax is the network-wide RREQ radius reached by ring escalation
+	// (default 16). AODV only.
+	TTLMax int
+	// MaxRetries is how many network-wide RREQ attempts follow an
+	// exhausted ring search before the discovery fails (default 2).
+	MaxRetries int
+	// RingTimeout is the per-TTL-unit discovery timeout in seconds: an
+	// attempt with radius ttl waits ttl*RingTimeout before escalating
+	// (default 0.2).
+	RingTimeout float64
+	// RouteLifetime is the active-route lifetime in seconds: a route not
+	// refreshed by data or control traffic expires (default 10). AODV only.
+	RouteLifetime float64
+	// TCInterval is the topology-control emission period in seconds
+	// (default 5). OLSR only.
+	TCInterval float64
+}
+
+// Enabled reports whether the traffic subsystem is active.
+func (c Config) Enabled() bool { return c.Mode != Off }
+
+// WithDefaults returns c with unset fields defaulted. A disabled config is
+// returned untouched, so the zero value stays zero.
+func (c Config) WithDefaults() Config {
+	if !c.Enabled() {
+		return c
+	}
+	if c.Flows == 0 {
+		c.Flows = 8
+	}
+	if c.Rate == 0 { //lint:ignore float-eq zero value is the unset sentinel, exact by construction
+		c.Rate = 2
+	}
+	if c.TTLStart == 0 {
+		c.TTLStart = 2
+	}
+	if c.TTLMax == 0 {
+		c.TTLMax = 16
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RingTimeout == 0 { //lint:ignore float-eq zero value is the unset sentinel, exact by construction
+		c.RingTimeout = 0.2
+	}
+	if c.RouteLifetime == 0 { //lint:ignore float-eq zero value is the unset sentinel, exact by construction
+		c.RouteLifetime = 10
+	}
+	if c.TCInterval == 0 { //lint:ignore float-eq zero value is the unset sentinel, exact by construction
+		c.TCInterval = 5
+	}
+	return c
+}
+
+// Validate reports configuration errors. The disabled zero value is valid.
+func (c Config) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	switch {
+	case c.Mode != AODV && c.Mode != OLSR:
+		return fmt.Errorf("traffic: unknown mode %d", int(c.Mode))
+	case c.Flows < 0:
+		return fmt.Errorf("traffic: negative Flows %d", c.Flows)
+	case c.Rate < 0:
+		return fmt.Errorf("traffic: negative Rate %g", c.Rate)
+	case c.Packets < 0:
+		return fmt.Errorf("traffic: negative Packets %d", c.Packets)
+	case c.TTLStart < 1 || c.TTLMax < c.TTLStart:
+		return fmt.Errorf("traffic: need 1 <= TTLStart <= TTLMax, got [%d, %d]", c.TTLStart, c.TTLMax)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("traffic: negative MaxRetries %d", c.MaxRetries)
+	case c.RingTimeout < 0 || c.RouteLifetime < 0 || c.TCInterval < 0:
+		return fmt.Errorf("traffic: negative timing (ring=%g lifetime=%g tc=%g)",
+			c.RingTimeout, c.RouteLifetime, c.TCInterval)
+	}
+	return nil
+}

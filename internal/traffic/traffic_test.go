@@ -1,0 +1,209 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestConfigDefaultsAndValidate(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if got := (Config{}).WithDefaults(); got != (Config{}) {
+		t.Fatalf("disabled config mutated by defaults: %+v", got)
+	}
+	c := Config{Mode: AODV}.WithDefaults()
+	if c.Flows == 0 || c.Rate == 0 || c.TTLStart == 0 || c.TTLMax == 0 ||
+		c.RingTimeout == 0 || c.RouteLifetime == 0 || c.TCInterval == 0 {
+		t.Fatalf("defaults left zero fields: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("defaulted config invalid: %v", err)
+	}
+	bad := []Config{
+		{Mode: Mode(7)},
+		{Mode: AODV, Flows: -1},
+		{Mode: AODV, Rate: -1},
+		{Mode: AODV, Packets: -1},
+		{Mode: AODV, TTLStart: 4, TTLMax: 2},
+		{Mode: AODV, MaxRetries: -1},
+		{Mode: OLSR, TCInterval: -1},
+	}
+	for _, b := range bad {
+		if err := b.WithDefaults().Validate(); err == nil {
+			t.Errorf("config %+v accepted", b)
+		}
+	}
+	for _, m := range []Mode{Off, AODV, OLSR} {
+		got, err := ModeByName(m.String())
+		if err != nil || got != m {
+			t.Errorf("ModeByName(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ModeByName("dsr"); err == nil {
+		t.Error("unknown mode name accepted")
+	}
+}
+
+func TestRouteTableFreshness(t *testing.T) {
+	rt := NewRouteTable(8)
+	if _, ok := rt.Lookup(3, 0); ok {
+		t.Fatal("empty table returned a route")
+	}
+	if !rt.Update(3, Route{NextHop: 1, Hops: 4, Seq: 5, Expiry: 10}) {
+		t.Fatal("initial install rejected")
+	}
+	if r, ok := rt.Lookup(3, 1); !ok || r.NextHop != 1 {
+		t.Fatalf("Lookup after install = %+v, %v", r, ok)
+	}
+	if rt.Update(3, Route{NextHop: 2, Hops: 9, Seq: 4, Expiry: 10}) {
+		t.Fatal("stale sequence number accepted over a live route")
+	}
+	if rt.Update(3, Route{NextHop: 2, Hops: 5, Seq: 5, Expiry: 10}) {
+		t.Fatal("equal seq with longer path accepted")
+	}
+	if !rt.Update(3, Route{NextHop: 2, Hops: 3, Seq: 5, Expiry: 10}) {
+		t.Fatal("equal seq with shorter path rejected")
+	}
+	if !rt.Update(3, Route{NextHop: 4, Hops: 9, Seq: 6, Expiry: 10}) {
+		t.Fatal("newer sequence number rejected")
+	}
+	if _, ok := rt.Lookup(3, 11); ok {
+		t.Fatal("expired route returned")
+	}
+	rt.Refresh(3, 20)
+	if _, ok := rt.Lookup(3, 11); !ok {
+		t.Fatal("refreshed route not returned")
+	}
+}
+
+func TestRouteTableInvalidate(t *testing.T) {
+	rt := NewRouteTable(8)
+	rt.Update(3, Route{NextHop: 1, Hops: 2, Seq: 5, Expiry: 100})
+	rt.Update(4, Route{NextHop: 1, Hops: 3, Seq: 2, Expiry: 100})
+	rt.Update(5, Route{NextHop: 2, Hops: 1, Seq: 9, Expiry: 100})
+	if rt.Invalidate(3, 2) {
+		t.Fatal("invalidated a route via a different next hop")
+	}
+	broken := rt.InvalidateVia(1, nil)
+	if !reflect.DeepEqual(broken, []int{3, 4}) {
+		t.Fatalf("InvalidateVia(1) = %v, want [3 4]", broken)
+	}
+	if _, ok := rt.Lookup(3, 0); ok {
+		t.Fatal("invalidated route still live")
+	}
+	if _, ok := rt.Lookup(5, 0); !ok {
+		t.Fatal("unrelated route torn down")
+	}
+	// The seq bump keeps the stale advertisement out (AODV: an invalid
+	// entry remembers and increments the destination sequence number).
+	if rt.LastSeq(3) != 6 {
+		t.Fatalf("LastSeq after invalidate = %d, want 6", rt.LastSeq(3))
+	}
+	if rt.Update(3, Route{NextHop: 7, Hops: 1, Seq: 5, Expiry: 100}) {
+		// An invalid slot accepts any candidate per the AODV rule, so
+		// this must be accepted — the guard above is about seq history.
+		t.Log("note: invalid slot accepted the stale candidate (allowed)")
+	}
+}
+
+func TestSelectMPRsCoversEveryTwoHop(t *testing.T) {
+	// Irregular instance: self with 1-hop {1,2,3,4} and 2-hop {10..15}.
+	neighbors := []int{1, 2, 3, 4}
+	twoHop := [][]int{
+		{10, 11},     // via 1
+		{11, 12, 13}, // via 2
+		{13, 14},     // via 3
+		{14, 15},     // via 4
+	}
+	mprs := SelectMPRs(neighbors, twoHop, nil)
+	covered := map[int]bool{}
+	for i, nb := range neighbors {
+		for _, m := range mprs {
+			if m == nb {
+				for _, x := range twoHop[i] {
+					covered[x] = true
+				}
+			}
+		}
+	}
+	for _, x := range []int{10, 11, 12, 13, 14, 15} {
+		if !covered[x] {
+			t.Errorf("2-hop node %d not covered by MPR set %v", x, mprs)
+		}
+	}
+	// 10 only via 1, 12 only via 2, 15 only via 4: all essential; they
+	// cover everything, so 3 must not be selected.
+	if !reflect.DeepEqual(mprs, []int{1, 2, 4}) {
+		t.Errorf("MPR set = %v, want [1 2 4]", mprs)
+	}
+}
+
+func TestSelectMPRsTieRule(t *testing.T) {
+	// Two neighbors with identical coverage: the smallest id must win.
+	neighbors := []int{5, 9}
+	twoHop := [][]int{{20, 21}, {20, 21}}
+	if got := SelectMPRs(neighbors, twoHop, nil); !reflect.DeepEqual(got, []int{5}) {
+		t.Fatalf("tie broken to %v, want [5]", got)
+	}
+	// Same instance with ids swapped in listing order: still the smaller id.
+	neighbors = []int{9, 5}
+	if got := SelectMPRs(neighbors, twoHop, nil); !reflect.DeepEqual(got, []int{5}) {
+		t.Fatalf("tie broken to %v, want [5] (order-independent)", got)
+	}
+	if got := SelectMPRs(nil, nil, nil); len(got) != 0 {
+		t.Fatalf("empty neighborhood selected %v", got)
+	}
+}
+
+func TestLinkStateRoutes(t *testing.T) {
+	// Line 0-1-2-3 known to node 0 via TC: 1 advertises selector {0,2},
+	// 2 advertises selector {1,3}.
+	ls := NewLinkState(6)
+	if !ls.RecordTC(1, 1, []int{0, 2}) {
+		t.Fatal("fresh TC rejected")
+	}
+	if !ls.RecordTC(2, 1, []int{1, 3}) {
+		t.Fatal("fresh TC rejected")
+	}
+	if ls.RecordTC(1, 1, []int{0, 2}) {
+		t.Fatal("duplicate ANSN accepted")
+	}
+	if !ls.Dirty() {
+		t.Fatal("mutated table not dirty")
+	}
+	ls.Recompute(0, []int{1})
+	if ls.Dirty() {
+		t.Fatal("recomputed table still dirty")
+	}
+	for dst, want := range map[int]int{1: 1, 2: 1, 3: 1} {
+		nh, ok := ls.NextHop(dst)
+		if !ok || nh != want {
+			t.Errorf("NextHop(%d) = %d, %v; want %d", dst, nh, ok, want)
+		}
+	}
+	if ls.Hops(3) != 3 {
+		t.Errorf("Hops(3) = %d, want 3", ls.Hops(3))
+	}
+	if _, ok := ls.NextHop(5); ok {
+		t.Error("unreachable destination got a next hop")
+	}
+	// A newer ANSN replaces the selector set: 2 loses selector 3, so 3
+	// becomes unreachable.
+	if !ls.RecordTC(2, 2, []int{1}) {
+		t.Fatal("newer ANSN rejected")
+	}
+	ls.Recompute(0, []int{1})
+	if _, ok := ls.NextHop(3); ok {
+		t.Error("stale link survived the ANSN update")
+	}
+}
+
+func TestSelectMPRsAppendsSorted(t *testing.T) {
+	// dst is appended to, existing contents untouched, result ascending.
+	base := []int{99}
+	got := SelectMPRs([]int{4, 2}, [][]int{{30}, {31}}, base)
+	if !reflect.DeepEqual(got, []int{99, 2, 4}) {
+		t.Fatalf("append result = %v, want [99 2 4]", got)
+	}
+}
